@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: dual-mode-aware sub-operator granularity (the t* balance of
+ * DESIGN.md) vs. plain max-fill slicing, with the rest of CMSwitch
+ * unchanged. Shows that on low-AI (decode) workloads the slice size is
+ * the lever that frees arrays for memory mode.
+ */
+
+#include "bench_util.hpp"
+#include "compiler/cmswitch_compiler.hpp"
+
+namespace cmswitch {
+namespace {
+
+std::unique_ptr<Compiler>
+maxFillCmSwitch(const ChipConfig &chip)
+{
+    CmSwitchOptions options;
+    options.forceMaxFillSlicing = true;
+    return std::make_unique<CmSwitchCompiler>(chip, options,
+                                              "cmswitch-maxfill");
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ChipConfig chip = ChipConfig::dynaplasia();
+
+    Table t("Ablation: dual-mode-aware slice size vs max-fill slicing");
+    t.addRow({"workload", "maxfill/t* cycles", "t* mem%", "maxfill mem%"});
+
+    struct Case
+    {
+        std::string label;
+        Graph graph;
+    };
+    TransformerConfig opt = bench::trimmedConfig("opt-6.7b", args.full);
+    TransformerConfig bert = bench::trimmedConfig("bert-large", args.full);
+    std::vector<Case> cases;
+    cases.push_back({"opt-6.7b decode kv512",
+                     buildTransformerDecodeStep(opt, 1, 512)});
+    cases.push_back({"bert-large prefill s64",
+                     buildTransformerPrefill(bert, 1, 64)});
+    cases.push_back({"vgg16 b1", buildVgg16(1)});
+
+    for (Case &c : cases) {
+        auto tstar = makeCmSwitchCompiler(chip);
+        auto maxfill = maxFillCmSwitch(chip);
+        CompileResult a = maxfill->compile(c.graph);
+        CompileResult b = tstar->compile(c.graph);
+        t.addRow(c.label,
+                 {static_cast<double>(a.totalCycles())
+                      / static_cast<double>(b.totalCycles()),
+                  100.0 * b.avgMemoryArrayRatio(),
+                  100.0 * a.avgMemoryArrayRatio()},
+                 2);
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: large win + high memory ratio on decode; "
+                 "parity on compute-bound prefill/CNNs.\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

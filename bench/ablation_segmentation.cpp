@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: the dynamic-programming network segmenter (Alg. 1) vs. a
+ * greedy max-fill segmentation, everything else (dual-mode MIP
+ * allocation, granularity) held equal. Quantifies how much of
+ * CMSwitch's win comes from segmentation alone.
+ */
+
+#include "bench_util.hpp"
+#include "compiler/cmswitch_compiler.hpp"
+
+namespace cmswitch {
+namespace {
+
+std::unique_ptr<Compiler>
+greedyCmSwitch(const ChipConfig &chip)
+{
+    CmSwitchOptions options; // full dual-mode pipeline...
+    options.segmenter.useDp = false; // ...but greedy segmentation
+    return std::make_unique<CmSwitchCompiler>(chip, options,
+                                              "cmswitch-greedy");
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ChipConfig chip = ChipConfig::dynaplasia();
+
+    Table t("Ablation: DP segmentation vs greedy max-fill (cycles ratio, "
+            ">1 means DP wins)");
+    t.addRow({"model", "greedy/dp"});
+    for (const ZooEntry &entry : fig14Benchmarks()) {
+        auto dp = makeCmSwitchCompiler(chip);
+        auto greedy = greedyCmSwitch(chip);
+        double a, b;
+        if (entry.generative) {
+            TransformerConfig cfg = bench::trimmedConfig(entry.name,
+                                                         args.full);
+            a = static_cast<double>(
+                evaluateGenerative(*greedy, cfg, 1, 64, 64, 2)
+                    .totalCycles());
+            b = static_cast<double>(
+                evaluateGenerative(*dp, cfg, 1, 64, 64, 2).totalCycles());
+        } else if (entry.name == "bert-large") {
+            TransformerConfig cfg = bench::trimmedConfig(entry.name,
+                                                         args.full);
+            Graph g = buildTransformerPrefill(cfg, 1, 64);
+            a = static_cast<double>(
+                evaluateGraph(*greedy, g).totalCycles());
+            b = static_cast<double>(evaluateGraph(*dp, g).totalCycles());
+        } else {
+            Graph g = buildModelByName(entry.name, 1);
+            a = static_cast<double>(
+                evaluateGraph(*greedy, g).totalCycles());
+            b = static_cast<double>(evaluateGraph(*dp, g).totalCycles());
+        }
+        t.addRow(entry.name, {a / b}, 3);
+    }
+    t.print(std::cout);
+    std::cout << "\nDP should never lose (ratio >= 1) and win most where "
+                 "inter-segment overheads vary across cut points.\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness supports `--full` to run the paper's complete sweep;
+ * the default configuration is trimmed (fewer transformer layers,
+ * fewer batch sizes) so the whole bench suite completes in minutes.
+ * Speedup *ratios* are unaffected by the layer trimming because
+ * transformer blocks are identical (see EXPERIMENTS.md).
+ */
+
+#ifndef CMSWITCH_BENCH_BENCH_UTIL_HPP
+#define CMSWITCH_BENCH_BENCH_UTIL_HPP
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "eval/evaluation.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace cmswitch::bench {
+
+struct BenchArgs
+{
+    bool full = false;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            args.full = true;
+        else if (std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "usage: " << argv[0] << " [--full]\n"
+                      << "  --full   run the paper's complete sweep\n";
+            std::exit(0);
+        }
+    }
+    return args;
+}
+
+/** Transformer config trimmed for bench runtime (identical blocks make
+ *  speedup ratios layer-count invariant). */
+inline TransformerConfig
+trimmedConfig(const std::string &name, bool full)
+{
+    TransformerConfig cfg = transformerConfigByName(name);
+    if (!full)
+        cfg.layers = std::min<s64>(cfg.layers, 2);
+    return cfg;
+}
+
+} // namespace cmswitch::bench
+
+#endif // CMSWITCH_BENCH_BENCH_UTIL_HPP

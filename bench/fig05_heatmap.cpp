@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 5: (a)(b) normalized-performance heat-maps of LLaMA2 (decode)
+ * and ResNet-50 over the (memory arrays, compute arrays) grid of the
+ * 100-array theoretical chip; (c) average arithmetic intensity of the
+ * benchmark networks (FLOPs per byte of streamed traffic).
+ */
+
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+#include "graph/analysis.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cmswitch {
+namespace {
+
+double
+rateAt(const ChipConfig &chip, double ai, s64 compute, s64 memory)
+{
+    double c = static_cast<double>(compute) * chip.opPerCycle;
+    double m = (static_cast<double>(memory) * chip.internalBwPerArray
+                + chip.dMain())
+             * ai;
+    return std::min(c, m);
+}
+
+void
+printHeatmap(const ChipConfig &chip, const std::string &label, double ai)
+{
+    const s64 total = chip.numSwitchArrays;
+    double best = 0.0;
+    for (s64 c = 1; c <= total; ++c)
+        for (s64 m = 0; c + m <= total; m += 1)
+            best = std::max(best, rateAt(chip, ai, c, m));
+
+    Table t("Fig. 5: " + label + " normalized perf over (compute, memory) "
+            "arrays");
+    std::vector<std::string> header = {"com\\mem"};
+    for (s64 m = 0; m <= 80; m += 20)
+        header.push_back(std::to_string(m));
+    t.addRow(header);
+    for (s64 c = 20; c <= 100; c += 20) {
+        std::vector<std::string> row = {std::to_string(c)};
+        for (s64 m = 0; m <= 80; m += 20) {
+            if (c + m > total) {
+                row.push_back("-");
+            } else {
+                row.push_back(
+                    formatDouble(rateAt(chip, ai, c, m) / best, 2));
+            }
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    ChipConfig chip = ChipConfig::theoretical100();
+
+    TransformerConfig llama = TransformerConfig::llama2_7b();
+    llama.layers = 2;
+    double llama_ai =
+        0.5
+        * profileGraph(buildTransformerDecodeStep(llama, 1, 512))
+              .aiFlopsPerByte();
+    double resnet_ai = 0.5 * profileGraph(buildResNet50(1)).aiFlopsPerByte();
+
+    printHeatmap(chip, "LLaMA2 (decode)", llama_ai);
+    printHeatmap(chip, "ResNet-50", resnet_ai);
+
+    // Fig. 5(c): average arithmetic intensity per model.
+    Table c("Fig. 5(c): average arithmetic intensity (FLOPs/byte)");
+    c.addRow({"model", "AI"});
+    TransformerConfig bert_b = TransformerConfig::bertBase();
+    bert_b.layers = 2;
+    TransformerConfig bert_l = TransformerConfig::bertLarge();
+    bert_l.layers = 2;
+    c.addRow("llama2 (decode)", {2.0 * llama_ai}, 1);
+    c.addRow("VGG",
+             {profileGraph(buildVgg16(1)).aiFlopsPerByte()}, 1);
+    c.addRow("ResNet50", {2.0 * resnet_ai}, 1);
+    c.addRow("Bert-base (seq 64)",
+             {profileGraph(buildTransformerPrefill(bert_b, 1, 64))
+                  .aiFlopsPerByte()},
+             1);
+    c.addRow("Bert-large (seq 64)",
+             {profileGraph(buildTransformerPrefill(bert_l, 1, 64))
+                  .aiFlopsPerByte()},
+             1);
+    c.print(std::cout);
+    std::cout << "\nPaper anchors: ResNet-50 AI ~66, LLaMA2 decode AI ~2; "
+                 "green zone hugs low-compute for LLaMA2 and high-compute "
+                 "for ResNet-50.\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 6: (a) layer-wise arithmetic intensity inside ResNet-50 (the
+ * three conv shapes of each of the four stages); (b) BERT-large
+ * arithmetic intensity by operator class across sequence lengths,
+ * showing FC-type classes outgrowing QKV-type classes.
+ */
+
+#include <set>
+
+#include "bench_util.hpp"
+#include "graph/analysis.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cmswitch {
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    // (a) ResNet-50 layer-wise AI: first occurrence of each distinct
+    // conv configuration, in network order.
+    Graph resnet = buildResNet50(1);
+    Table a("Fig. 6(a): ResNet-50 layer-wise arithmetic intensity");
+    a.addRow({"#", "layer", "AI (FLOPs/byte)"});
+    std::set<std::string> seen;
+    int index = 0;
+    for (const Operator &op : resnet.ops()) {
+        if (op.kind != OpKind::kConv2d)
+            continue;
+        const TensorDesc &w = resnet.tensor(op.inputs[1]);
+        std::string shape_key = w.shape.toString() + "/"
+                              + std::to_string(op.conv.strideH);
+        if (!seen.insert(shape_key).second)
+            continue;
+        if (++index > 12)
+            break;
+        OpProfile p = profileOp(resnet, op.id);
+        a.addRow(std::to_string(index) + "  " + op.name + " "
+                     + w.shape.toString(),
+                 {p.aiFlopsPerByte()}, 1);
+    }
+    a.print(std::cout);
+
+    // (b) BERT-large AI by operator class vs. sequence length.
+    Table b("Fig. 6(b): BERT-large arithmetic intensity by class");
+    b.addRow({"seq", "MHA(QKV)", "MHA(FC)", "FFN(FC)", "Other"});
+    TransformerConfig cfg = TransformerConfig::bertLarge();
+    cfg.layers = args.full ? cfg.layers : 2;
+    const s64 seqs[] = {128, 512, 4096};
+    for (s64 seq : seqs) {
+        Graph g = buildTransformerPrefill(cfg, 1, seq);
+        double qkv = 0, fc = 0, ffn = 0, other_macs = 0, other_traffic = 0;
+        for (const ClassProfile &c : profileByClass(g)) {
+            switch (c.cls) {
+              case OpClass::kMhaQkvProj: qkv = c.aiFlopsPerByte(); break;
+              case OpClass::kMhaOutProj: fc = c.aiFlopsPerByte(); break;
+              case OpClass::kFfn: ffn = c.aiFlopsPerByte(); break;
+              default:
+                other_macs += static_cast<double>(c.macs);
+                other_traffic += static_cast<double>(c.traffic);
+                break;
+            }
+        }
+        double other =
+            other_traffic > 0 ? 2.0 * other_macs / other_traffic : 0.0;
+        b.addRow(std::to_string(seq), {qkv, fc, ffn, other}, 1);
+    }
+    b.print(std::cout);
+    std::cout << "\nPaper anchors: AI spans <150 to >1000 FLOPs/MOP as "
+                 "sequence grows; FC classes rise fastest.\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

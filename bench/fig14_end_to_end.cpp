@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 14: end-to-end speedup of PUMA / OCC / CIM-MLC / CMSwitch on
+ * the six benchmark networks across batch sizes, normalized to PUMA,
+ * with CMSwitch's speedup over the main baseline (CIM-MLC) called out,
+ * plus the geomean row.
+ *
+ * Default run: batches {1, 4}, transformers trimmed to 2 layers
+ * (identical blocks make the ratios layer-invariant); --full runs
+ * batches {1, 2, 4, 8}.
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+/** Evaluate a Fig. 14 entry with a trimmed transformer config. */
+EndToEndResult
+runEntry(Compiler &compiler, const ZooEntry &entry, s64 batch, bool full)
+{
+    const s64 seq = 64; // paper Sec. 5.2 sequence length
+    if (entry.generative) {
+        TransformerConfig cfg = bench::trimmedConfig(entry.name, full);
+        return evaluateGenerative(compiler, cfg, batch, seq, seq,
+                                  full ? 4 : 2);
+    }
+    if (entry.name == "bert-large") {
+        TransformerConfig cfg = bench::trimmedConfig(entry.name, full);
+        Graph g = buildTransformerPrefill(cfg, batch, seq);
+        return evaluateGraph(compiler, g);
+    }
+    Graph g = buildModelByName(entry.name, batch, seq);
+    return evaluateGraph(compiler, g);
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ChipConfig chip = ChipConfig::dynaplasia();
+
+    std::vector<s64> batches = args.full ? std::vector<s64>{1, 2, 4, 8}
+                                         : std::vector<s64>{1, 4};
+
+    Table t("Fig. 14: normalized performance (vs PUMA) and CMSwitch "
+            "speedup over CIM-MLC");
+    t.addRow({"batch", "model", "puma", "occ", "cim-mlc", "cmswitch",
+              "ours/mlc"});
+
+    double geo_sum = 0.0;
+    s64 geo_count = 0;
+    for (s64 batch : batches) {
+        for (const ZooEntry &entry : fig14Benchmarks()) {
+            auto compilers = makeAllCompilers(chip);
+            std::vector<double> cycles;
+            for (auto &compiler : compilers) {
+                cycles.push_back(static_cast<double>(
+                    runEntry(*compiler, entry, batch, args.full)
+                        .totalCycles()));
+            }
+            double puma = cycles[0];
+            std::vector<double> normalized;
+            for (double c : cycles)
+                normalized.push_back(puma / c);
+            double ours_vs_mlc = cycles[2] / cycles[3];
+            geo_sum += std::log(ours_vs_mlc);
+            ++geo_count;
+            t.addRow("b" + std::to_string(batch) + " " + entry.name,
+                     {normalized[0], normalized[1], normalized[2],
+                      normalized[3], ours_vs_mlc},
+                     2);
+        }
+    }
+    double geomean = std::exp(geo_sum / static_cast<double>(geo_count));
+    t.addRow("geomean ours/mlc", {geomean}, 2);
+    t.print(std::cout);
+    std::cout << "\nPaper anchors: average 1.31x over CIM-MLC, max 2.03x "
+                 "(OPT-13B); CNNs 1.06-1.48x.\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the performance-critical
+ * substrates: the simplex/MIP solver, the dual-mode allocator, the
+ * cost model, the timing simulator, and the tiled functional matmul.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/cmswitch_compiler.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/functional.hpp"
+#include "sim/timing.hpp"
+#include "solver/mip.hpp"
+
+namespace cmswitch {
+namespace {
+
+void
+BM_SimplexSmallLp(benchmark::State &state)
+{
+    LinearModel m;
+    VarId x = m.addVar("x", 0, 10);
+    VarId y = m.addVar("y", 0, 10);
+    VarId z = m.addVar("z", 0, 10);
+    LinearExpr c1;
+    c1.add(x, 1.0).add(y, 2.0).add(z, 1.0);
+    m.addConstraint(c1, Rel::kLe, 14);
+    LinearExpr c2;
+    c2.add(x, 3.0).add(y, -1.0);
+    m.addConstraint(c2, Rel::kGe, 0);
+    LinearExpr obj;
+    obj.add(x, 1.0).add(y, 2.0).add(z, 3.0);
+    m.setObjective(obj, Sense::kMaximize);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveLp(m));
+}
+BENCHMARK(BM_SimplexSmallLp);
+
+void
+BM_MipKnapsack(benchmark::State &state)
+{
+    LinearModel m;
+    LinearExpr cap, obj;
+    for (int i = 0; i < 8; ++i) {
+        VarId v = m.addVar("v", 0, 1, VarType::kInteger);
+        cap.add(v, 5.0 + i);
+        obj.add(v, 7.0 + 3 * i);
+    }
+    m.addConstraint(cap, Rel::kLe, 31);
+    m.setObjective(obj, Sense::kMaximize);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveMip(m));
+}
+BENCHMARK(BM_MipKnapsack);
+
+void
+BM_AllocatorSegment(benchmark::State &state)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    CostModel cost(deha);
+    Graph g = buildResNet18(1);
+    auto ops = flattenGraph(g, deha);
+    DualModeAllocator alloc(cost, AllocatorOptions{});
+    SegmentView view =
+        makeSegmentView(ops, 0, std::min<s64>(6, ops.size()));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alloc.allocate(view));
+}
+BENCHMARK(BM_AllocatorSegment);
+
+void
+BM_CostModelOpLatency(benchmark::State &state)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    CostModel cost(deha);
+    Graph g = buildTinyMlp(8, 512, 512, 512);
+    OpWorkload w = makeWorkload(g, g.cimOps()[0], deha);
+    OpAllocation a{8, 2, 2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cost.opLatency(w, a));
+}
+BENCHMARK(BM_CostModelOpLatency);
+
+void
+BM_CompileMobileNet(benchmark::State &state)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    Graph g = buildMobileNetV2(1);
+    for (auto _ : state) {
+        CmSwitchCompiler compiler(chip);
+        benchmark::DoNotOptimize(compiler.compile(g));
+    }
+}
+BENCHMARK(BM_CompileMobileNet)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    Graph g = buildResNet18(1);
+    CompileResult r = compiler.compile(g);
+    Deha deha(chip);
+    TimingSimulator sim(deha);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(r.program));
+}
+BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FunctionalTiledExecution(benchmark::State &state)
+{
+    ChipConfig chip;
+    chip.name = "micro";
+    chip.numSwitchArrays = 16;
+    chip.arrayRows = 32;
+    chip.arrayCols = 32;
+    CmSwitchCompiler compiler(chip);
+    Graph g = buildTinyMlp(4, 64, 128, 32);
+    CompileResult r = compiler.compile(g);
+    Deha deha(chip);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(verifyProgram(g, r.program, deha));
+}
+BENCHMARK(BM_FunctionalTiledExecution)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace cmswitch
+
+BENCHMARK_MAIN();

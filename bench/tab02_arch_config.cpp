@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 2: the evaluated CIM architecture configuration (Dynaplasia
+ * style), printed through the DEHA, plus the PRIME variant used by the
+ * Sec. 5.5 scalability study.
+ */
+
+#include "arch/deha.hpp"
+#include "bench_util.hpp"
+
+namespace cmswitch {
+
+int
+benchMain(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+
+    Table t("Table 2: CIM architecture configuration");
+    t.addRow({"parameter", "configuration"});
+    ChipConfig c = ChipConfig::dynaplasia();
+    t.addRow({"#_switch_array", std::to_string(c.numSwitchArrays)});
+    t.addRow({"array_size", std::to_string(c.arrayRows) + "x"
+                                + std::to_string(c.arrayCols)});
+    t.addRow({"buffer_size", "10KBx8"});
+    t.addRow({"internal_bw", "32b/cycle ("
+                                 + formatDouble(c.internalBwPerArray, 0)
+                                 + " B/cycle/array)"});
+    t.addRow({"Methd_c2m / Methd_m2c", c.switchMethod});
+    t.addRow({"L_c2m / L_m2c", std::to_string(c.switchC2mLatency)
+                                   + " cycle/array"});
+    t.print(std::cout);
+
+    std::cout << "\nFull DEHA dumps:\n\n";
+    std::cout << Deha(ChipConfig::dynaplasia()).describe() << "\n";
+    std::cout << Deha(ChipConfig::prime()).describe() << "\n";
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::benchMain(argc, argv);
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CNN deployment: compiles the paper's convolutional benchmarks
+ * (MobileNet-V2 / ResNet-18 / VGG-16) across batch sizes, comparing
+ * all four compilers and showing where the dual-mode allocation puts
+ * memory-mode arrays inside VGG-16 (later, wider layers).
+ *
+ * Build & run:  ./build/examples/cnn_deployment
+ */
+
+#include <iostream>
+
+#include "baselines/baseline.hpp"
+#include "compiler/cmswitch_compiler.hpp"
+#include "eval/evaluation.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace cmswitch;
+
+    ChipConfig chip = ChipConfig::dynaplasia();
+    const std::string models[] = {"mobilenetv2", "resnet18", "vgg16"};
+    const s64 batches[] = {1, 4};
+
+    Table t("CNN latency (cycles) by compiler");
+    t.addRow({"model", "batch", "puma", "occ", "cim-mlc", "cmswitch",
+              "ours/mlc"});
+    for (const std::string &model : models) {
+        for (s64 batch : batches) {
+            Graph g = buildModelByName(model, batch);
+            std::vector<double> cycles;
+            for (auto &compiler : makeAllCompilers(chip)) {
+                cycles.push_back(static_cast<double>(
+                    evaluateGraph(*compiler, g).totalCycles()));
+            }
+            t.addRow({model, std::to_string(batch),
+                      formatDouble(cycles[0], 0), formatDouble(cycles[1], 0),
+                      formatDouble(cycles[2], 0), formatDouble(cycles[3], 0),
+                      formatDouble(cycles[2] / cycles[3], 2)});
+        }
+    }
+    t.print(std::cout);
+
+    // Where do the memory-mode arrays go inside VGG-16?
+    CmSwitchCompiler ours(chip);
+    CompileResult r = ours.compile(buildVgg16(1));
+    std::cout << "\nVGG-16 per-segment allocation (CMSwitch):\n";
+    for (const SegmentRecord &seg : r.program.segments()) {
+        std::cout << "  segment " << seg.index << ": "
+                  << seg.plan.computeArrays << " compute / "
+                  << seg.plan.memoryArrays << " memory";
+        if (seg.reusedArrays > 0)
+            std::cout << " (+" << seg.reusedArrays << " reused buffers)";
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: the whole CMSwitch pipeline on a small MLP in ~50 lines.
+ *
+ *   1. build (or import) a computation graph;
+ *   2. compile it for a dual-mode CIM chip;
+ *   3. inspect the meta-operator program (CM.switch & friends);
+ *   4. validate the program and verify it bit-exactly against the
+ *      reference executor;
+ *   5. price it on the timing simulator.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "compiler/cmswitch_compiler.hpp"
+#include "metaop/printer.hpp"
+#include "metaop/validator.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/functional.hpp"
+#include "sim/timing.hpp"
+#include "support/strings.hpp"
+
+int
+main()
+{
+    using namespace cmswitch;
+
+    // 1. A batch-4 two-layer MLP. Any Graph works: build your own or
+    //    parse one from the textual exchange format (graph/serialize.hpp).
+    Graph model = buildTinyMlp(/*batch=*/4, /*inDim=*/256, /*hidden=*/512,
+                               /*outDim=*/128);
+
+    // 2. Compile for the Dynaplasia-style default chip.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    CompileResult result = compiler.compile(model);
+
+    std::cout << "compiled " << model.name() << " into "
+              << result.numSegments() << " segment(s), estimated "
+              << result.totalCycles() << " cycles\n"
+              << "  intra " << result.latency.intra
+              << " | write-back " << result.latency.writeback
+              << " | mode-switch " << result.latency.modeSwitch
+              << " | weight rewrite " << result.latency.rewrite << "\n\n";
+
+    // 3. The dual-mode meta-operator program (paper Fig. 13 syntax).
+    std::cout << printProgram(result.program) << "\n";
+
+    // 4. Structural validation + functional verification.
+    Deha deha(chip);
+    ValidationReport report = validateProgram(result.program, deha);
+    std::cout << "validator: " << report.summary() << "\n";
+    s64 mismatches = verifyProgram(model, result.program, deha);
+    std::cout << "functional check vs reference executor: "
+              << (mismatches == 0 ? "bit-exact" : "MISMATCH") << "\n";
+
+    // 5. Independent cycle accounting by the timing simulator.
+    TimingReport timing = TimingSimulator(deha).run(result.program);
+    std::cout << "timing simulator: " << timing.total()
+              << " cycles (switch share "
+              << formatDouble(100.0 * timing.switchShare(), 3) << "%)\n";
+    return mismatches == 0 && report.ok() ? 0 : 1;
+}

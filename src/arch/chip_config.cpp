@@ -1,0 +1,71 @@
+#include "arch/chip_config.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+const char *
+arrayModeName(ArrayMode mode)
+{
+    switch (mode) {
+      case ArrayMode::kCompute: return "compute";
+      case ArrayMode::kMemory: return "memory";
+    }
+    cmswitch_panic("unknown array mode");
+}
+
+void
+ChipConfig::validate() const
+{
+    cmswitch_fatal_if(numSwitchArrays <= 0, "chip needs at least one array");
+    cmswitch_fatal_if(arrayRows <= 0 || arrayCols <= 0,
+                      "array dimensions must be positive");
+    cmswitch_fatal_if(internalBwPerArray <= 0.0, "D_cim must be positive");
+    cmswitch_fatal_if(externBw <= 0.0, "extern bandwidth must be positive");
+    cmswitch_fatal_if(bufferBw < 0.0, "buffer bandwidth must be >= 0");
+    cmswitch_fatal_if(opPerCycle <= 0.0, "OP_cim must be positive");
+    cmswitch_fatal_if(switchC2mLatency < 0 || switchM2cLatency < 0,
+                      "switch latencies must be >= 0");
+    cmswitch_fatal_if(writeRowLatency <= 0, "write latency must be positive");
+    cmswitch_fatal_if(fuOpsPerCycle <= 0.0, "FU throughput must be positive");
+}
+
+ChipConfig
+ChipConfig::dynaplasia()
+{
+    ChipConfig c;
+    c.name = "dynaplasia";
+    // Everything at the struct defaults, which encode Table 2 plus the
+    // calibrated latency-model constants (DESIGN.md Sec. 7).
+    return c;
+}
+
+ChipConfig
+ChipConfig::prime()
+{
+    ChipConfig c;
+    c.name = "prime";
+    c.numSwitchArrays = 128;
+    c.arrayRows = 512;
+    c.arrayCols = 512;
+    c.opPerCycle = 160.0;        // larger crossbar, more MACs/cycle
+    c.internalBwPerArray = 4.0;
+    c.externBw = 80.0;
+    c.bufferBw = 20.0;
+    c.switchMethod = "wordline-driver-reconfig";
+    c.switchC2mLatency = 2;
+    c.switchM2cLatency = 2;
+    c.writeRowLatency = 20;      // ReRAM programming is ~20x slower
+    return c;
+}
+
+ChipConfig
+ChipConfig::theoretical100()
+{
+    ChipConfig c;
+    c.name = "theoretical100";
+    c.numSwitchArrays = 100;
+    return c;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chip-level parameters of the Dual-mode Enhanced Hardware Abstraction
+ * (DEHA, paper Fig. 8 + Table 2). The compiler, cost model, and both
+ * simulators read every hardware fact from this one record.
+ */
+
+#ifndef CMSWITCH_ARCH_CHIP_CONFIG_HPP
+#define CMSWITCH_ARCH_CHIP_CONFIG_HPP
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Operating mode of one dual-mode CIM array. */
+enum class ArrayMode { kCompute, kMemory };
+
+const char *arrayModeName(ArrayMode mode);
+
+/**
+ * User-facing hardware description (paper Fig. 8). Bandwidths are in
+ * bytes/cycle; latencies in cycles. Derived quantities of the latency
+ * model (OP_cim, D_cim, D_main) are exposed as accessors.
+ */
+struct ChipConfig
+{
+    std::string name = "dynaplasia";
+
+    /** @{ Array geometry (Table 2). */
+    s64 numSwitchArrays = 96; ///< #_switch_array: dual-mode arrays on chip
+    s64 arrayRows = 320;      ///< array_size: rows (reduction dimension)
+    s64 arrayCols = 320;      ///< array_size: columns (output dimension)
+    /** @} */
+
+    /** @{ Memory system. */
+    s64 bufferBytes = 10 * 1024 * 8; ///< dedicated ctrl buffer (10KB x 8)
+    double internalBwPerArray = 4.0; ///< D_cim: B/cycle per memory-mode array
+    double externBw = 80.0;          ///< main-memory link, B/cycle
+    double bufferBw = 20.0;          ///< dedicated buffer contribution, B/cycle
+    /** @} */
+
+    /** @{ Compute mode. */
+    double opPerCycle = 80.0; ///< OP_cim: MACs/cycle per compute-mode array
+    /** @} */
+
+    /** @{ Dual-mode switch (Fig. 8): method + per-array latency. */
+    std::string switchMethod = "global-IA-driver"; ///< Methd_c2m / Methd_m2c
+    Cycles switchC2mLatency = 1; ///< L_c->m per array
+    Cycles switchM2cLatency = 1; ///< L_m->c per array
+    /** @} */
+
+    /** @{ Per-mode operation latencies (L_func). */
+    Cycles writeRowLatency = 1;  ///< cycles to program one array row
+    Cycles readRowLatency = 1;   ///< cycles to read one array row
+    /** @} */
+
+    /** Vector function-unit throughput, elements/cycle (softmax etc.). */
+    double fuOpsPerCycle = 128.0;
+
+    /** @{ Derived quantities. */
+    /** Weight capacity of one array in bytes (int8 cell per element). */
+    s64 arrayWeightBytes() const { return arrayRows * arrayCols; }
+
+    /** On-chip scratchpad capacity of one memory-mode array, bytes. */
+    s64 arrayMemoryBytes() const { return arrayRows * arrayCols; }
+
+    /** D_main: background bytes/cycle from main memory + ctrl buffer. */
+    double dMain() const { return externBw + bufferBw; }
+
+    /** Cycles to program a full array with weights (Latency_write). */
+    Cycles writeArrayLatency() const { return writeRowLatency * arrayRows; }
+
+    /** Total switchable scratchpad capacity, bytes. */
+    s64 totalSwitchableBytes() const
+    {
+        return numSwitchArrays * arrayMemoryBytes();
+    }
+    /** @} */
+
+    /** fatal()s if any parameter is non-physical (user error). */
+    void validate() const;
+
+    /** @{ Presets. */
+    /** Dynaplasia-style eDRAM chip (Table 2); the default target. */
+    static ChipConfig dynaplasia();
+
+    /** PRIME-style ReRAM chip: more/larger arrays, costly writes
+     *  (Sec. 5.5 scalability study). */
+    static ChipConfig prime();
+
+    /**
+     * The 100-array theoretical chip used for the motivational studies
+     * (Figs. 1(b) and 5(a)(b)).
+     */
+    static ChipConfig theoretical100();
+    /** @} */
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_ARCH_CHIP_CONFIG_HPP

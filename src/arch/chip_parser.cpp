@@ -1,0 +1,139 @@
+#include "arch/chip_parser.hpp"
+
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+using Setter = std::function<void(ChipConfig &, const std::string &)>;
+
+s64
+toInt(const std::string &v)
+{
+    return std::stoll(v);
+}
+
+double
+toDouble(const std::string &v)
+{
+    return std::stod(v);
+}
+
+const std::map<std::string, Setter> &
+setters()
+{
+    static const std::map<std::string, Setter> table = {
+        {"name", [](ChipConfig &c, const std::string &v) { c.name = v; }},
+        {"num_switch_arrays",
+         [](ChipConfig &c, const std::string &v) {
+             c.numSwitchArrays = toInt(v);
+         }},
+        {"array_rows",
+         [](ChipConfig &c, const std::string &v) { c.arrayRows = toInt(v); }},
+        {"array_cols",
+         [](ChipConfig &c, const std::string &v) { c.arrayCols = toInt(v); }},
+        {"buffer_bytes",
+         [](ChipConfig &c, const std::string &v) {
+             c.bufferBytes = toInt(v);
+         }},
+        {"internal_bw",
+         [](ChipConfig &c, const std::string &v) {
+             c.internalBwPerArray = toDouble(v);
+         }},
+        {"extern_bw",
+         [](ChipConfig &c, const std::string &v) {
+             c.externBw = toDouble(v);
+         }},
+        {"buffer_bw",
+         [](ChipConfig &c, const std::string &v) {
+             c.bufferBw = toDouble(v);
+         }},
+        {"op_per_cycle",
+         [](ChipConfig &c, const std::string &v) {
+             c.opPerCycle = toDouble(v);
+         }},
+        {"switch_method",
+         [](ChipConfig &c, const std::string &v) { c.switchMethod = v; }},
+        {"switch_c2m_latency",
+         [](ChipConfig &c, const std::string &v) {
+             c.switchC2mLatency = toInt(v);
+         }},
+        {"switch_m2c_latency",
+         [](ChipConfig &c, const std::string &v) {
+             c.switchM2cLatency = toInt(v);
+         }},
+        {"write_row_latency",
+         [](ChipConfig &c, const std::string &v) {
+             c.writeRowLatency = toInt(v);
+         }},
+        {"read_row_latency",
+         [](ChipConfig &c, const std::string &v) {
+             c.readRowLatency = toInt(v);
+         }},
+        {"fu_ops_per_cycle",
+         [](ChipConfig &c, const std::string &v) {
+             c.fuOpsPerCycle = toDouble(v);
+         }},
+    };
+    return table;
+}
+
+} // namespace
+
+ChipConfig
+parseChipConfig(const std::string &text)
+{
+    ChipConfig config;
+    std::istringstream iss(text);
+    std::string line;
+    s64 line_no = 0;
+    while (std::getline(iss, line)) {
+        ++line_no;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::size_t eq = t.find('=');
+        cmswitch_fatal_if(eq == std::string::npos,
+                          "chip config line ", line_no, ": expected key = "
+                          "value, got '", t, "'");
+        std::string key = trim(t.substr(0, eq));
+        std::string value = trim(t.substr(eq + 1));
+        auto it = setters().find(key);
+        cmswitch_fatal_if(it == setters().end(),
+                          "chip config line ", line_no, ": unknown key '",
+                          key, "'");
+        it->second(config, value);
+    }
+    config.validate();
+    return config;
+}
+
+std::string
+serializeChipConfig(const ChipConfig &c)
+{
+    std::ostringstream oss;
+    oss << "name = " << c.name << "\n"
+        << "num_switch_arrays = " << c.numSwitchArrays << "\n"
+        << "array_rows = " << c.arrayRows << "\n"
+        << "array_cols = " << c.arrayCols << "\n"
+        << "buffer_bytes = " << c.bufferBytes << "\n"
+        << "internal_bw = " << formatDouble(c.internalBwPerArray, 4) << "\n"
+        << "extern_bw = " << formatDouble(c.externBw, 4) << "\n"
+        << "buffer_bw = " << formatDouble(c.bufferBw, 4) << "\n"
+        << "op_per_cycle = " << formatDouble(c.opPerCycle, 4) << "\n"
+        << "switch_method = " << c.switchMethod << "\n"
+        << "switch_c2m_latency = " << c.switchC2mLatency << "\n"
+        << "switch_m2c_latency = " << c.switchM2cLatency << "\n"
+        << "write_row_latency = " << c.writeRowLatency << "\n"
+        << "read_row_latency = " << c.readRowLatency << "\n"
+        << "fu_ops_per_cycle = " << formatDouble(c.fuOpsPerCycle, 4) << "\n";
+    return oss.str();
+}
+
+} // namespace cmswitch

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text-format chip descriptions: users target custom dual-mode CIM
+ * hardware by writing the DEHA parameters as `key = value` lines
+ * instead of recompiling. Unknown keys are fatal (typos should not
+ * silently fall back to defaults).
+ *
+ * Example:
+ *
+ *     # my edge chip
+ *     name = edge-cim
+ *     num_switch_arrays = 32
+ *     array_rows = 128
+ *     array_cols = 128
+ *     extern_bw = 12.0
+ *     op_per_cycle = 32
+ */
+
+#ifndef CMSWITCH_ARCH_CHIP_PARSER_HPP
+#define CMSWITCH_ARCH_CHIP_PARSER_HPP
+
+#include <string>
+
+#include "arch/chip_config.hpp"
+
+namespace cmswitch {
+
+/** Parse a chip description; starts from ChipConfig defaults, applies
+ *  each line, validate()s the result. fatals on malformed input. */
+ChipConfig parseChipConfig(const std::string &text);
+
+/** Serialise @p config in the same format (round-trippable). */
+std::string serializeChipConfig(const ChipConfig &config);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_ARCH_CHIP_PARSER_HPP

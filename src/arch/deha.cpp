@@ -1,0 +1,84 @@
+#include "arch/deha.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+Deha::Deha(ChipConfig config)
+    : config_(std::move(config))
+{
+    config_.validate();
+}
+
+s64
+Deha::weightTiles(s64 rows, s64 cols, s64 copies) const
+{
+    cmswitch_assert(rows > 0 && cols > 0 && copies > 0,
+                    "weight matrix must be non-empty");
+    return copies * ceilDiv(rows, config_.arrayRows)
+                  * ceilDiv(cols, config_.arrayCols);
+}
+
+double
+Deha::tileUtilization(s64 rows, s64 cols, s64 copies) const
+{
+    s64 tiles = weightTiles(rows, cols, copies);
+    double useful = static_cast<double>(rows) * static_cast<double>(cols)
+                  * static_cast<double>(copies);
+    double alloc = static_cast<double>(tiles)
+                 * static_cast<double>(config_.arrayRows)
+                 * static_cast<double>(config_.arrayCols);
+    return useful / alloc;
+}
+
+SwitchDelta
+Deha::switchesBetween(s64 phys_compute, const ModePlan &next) const
+{
+    cmswitch_assert(next.total() <= config_.numSwitchArrays,
+                    "plan exceeds chip arrays");
+    s64 phys_memory = config_.numSwitchArrays - phys_compute;
+    SwitchDelta d;
+    d.memToCompute = std::max<s64>(0, next.computeArrays - phys_compute);
+    d.computeToMem = std::max<s64>(0, next.memoryArrays - phys_memory);
+    // A chip cannot be short of both modes at once.
+    cmswitch_assert(d.memToCompute == 0 || d.computeToMem == 0,
+                    "inconsistent switch delta");
+    return d;
+}
+
+s64
+Deha::applySwitches(s64 phys_compute, const SwitchDelta &delta) const
+{
+    return phys_compute + delta.memToCompute - delta.computeToMem;
+}
+
+Cycles
+Deha::switchLatency(const SwitchDelta &delta) const
+{
+    return config_.switchM2cLatency * delta.memToCompute
+         + config_.switchC2mLatency * delta.computeToMem;
+}
+
+std::string
+Deha::describe() const
+{
+    std::ostringstream oss;
+    const ChipConfig &c = config_;
+    oss << "DEHA(" << c.name << ")\n"
+        << "  #_switch_array   " << c.numSwitchArrays << "\n"
+        << "  array_size       " << c.arrayRows << "x" << c.arrayCols << "\n"
+        << "  buffer_size      " << formatBytes(double(c.bufferBytes)) << "\n"
+        << "  internal_bw      " << c.internalBwPerArray << " B/cycle/array\n"
+        << "  extern_bw        " << c.externBw << " B/cycle\n"
+        << "  OP_cim           " << c.opPerCycle << " MAC/cycle/array\n"
+        << "  Methd_c2m/m2c    " << c.switchMethod << "\n"
+        << "  L_c2m            " << c.switchC2mLatency << " cycle/array\n"
+        << "  L_m2c            " << c.switchM2cLatency << " cycle/array\n"
+        << "  L_write(array)   " << c.writeArrayLatency() << " cycles\n";
+    return oss.str();
+}
+
+} // namespace cmswitch

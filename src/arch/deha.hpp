@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dual-mode Enhanced Hardware Abstraction (DEHA, paper Sec. 4.2).
+ *
+ * Wraps a ChipConfig with the queries the compiler needs: weight tiling
+ * geometry, mode-switch accounting between consecutive segment plans,
+ * and a printable description (paper Fig. 8).
+ */
+
+#ifndef CMSWITCH_ARCH_DEHA_HPP
+#define CMSWITCH_ARCH_DEHA_HPP
+
+#include <string>
+
+#include "arch/chip_config.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Count-based mode plan of one network segment. */
+struct ModePlan
+{
+    s64 computeArrays = 0;
+    s64 memoryArrays = 0;
+
+    s64 total() const { return computeArrays + memoryArrays; }
+};
+
+/** Arrays that must change mode between two consecutive segments. */
+struct SwitchDelta
+{
+    s64 memToCompute = 0; ///< Switch_m->c of Eq. 1
+    s64 computeToMem = 0; ///< Switch_c->m of Eq. 1
+};
+
+/**
+ * The hardware abstraction handed to the compiler. Arrays are fungible,
+ * so mode bookkeeping is count-based: the physical chip state is the
+ * number of arrays currently wired to each mode.
+ */
+class Deha
+{
+  public:
+    explicit Deha(ChipConfig config);
+
+    const ChipConfig &config() const { return config_; }
+
+    /** Arrays needed to hold one copy of a rows x cols weight matrix,
+     *  replicated @p copies times (e.g. once per attention head). */
+    s64 weightTiles(s64 rows, s64 cols, s64 copies = 1) const;
+
+    /** Fraction of allocated MAC cells doing useful work (tile padding). */
+    double tileUtilization(s64 rows, s64 cols, s64 copies = 1) const;
+
+    /**
+     * Minimal mode switches to go from a chip physically holding
+     * @p phys_compute compute-mode arrays to a segment requiring
+     * @p next. Arrays are fungible, so only count deltas matter.
+     */
+    SwitchDelta switchesBetween(s64 phys_compute, const ModePlan &next) const;
+
+    /** Chip compute-mode array count after applying @p delta. */
+    s64 applySwitches(s64 phys_compute, const SwitchDelta &delta) const;
+
+    /** Eq. 1: latency of performing @p delta. */
+    Cycles switchLatency(const SwitchDelta &delta) const;
+
+    /** Human-readable parameter dump in the layout of paper Fig. 8. */
+    std::string describe() const;
+
+  private:
+    ChipConfig config_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_ARCH_DEHA_HPP

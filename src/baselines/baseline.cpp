@@ -1,0 +1,23 @@
+#include "baselines/baseline.hpp"
+
+namespace cmswitch {
+
+std::unique_ptr<Compiler>
+makeCmSwitchCompiler(ChipConfig chip)
+{
+    return std::make_unique<CmSwitchCompiler>(std::move(chip),
+                                              CmSwitchOptions{}, "cmswitch");
+}
+
+std::vector<std::unique_ptr<Compiler>>
+makeAllCompilers(const ChipConfig &chip)
+{
+    std::vector<std::unique_ptr<Compiler>> out;
+    out.push_back(makePumaCompiler(chip));
+    out.push_back(makeOccCompiler(chip));
+    out.push_back(makeCimMlcCompiler(chip));
+    out.push_back(makeCmSwitchCompiler(chip));
+    return out;
+}
+
+} // namespace cmswitch

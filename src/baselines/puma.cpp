@@ -1,0 +1,18 @@
+#include "baselines/baseline.hpp"
+
+namespace cmswitch {
+
+std::unique_ptr<Compiler>
+makePumaCompiler(ChipConfig chip)
+{
+    CmSwitchOptions options;
+    options.segmenter.useDp = false; // greedy max-fill segmentation
+    options.segmenter.livenessAwareWriteback = false;
+    options.segmenter.alloc.allowMemoryMode = false;
+    options.segmenter.alloc.allowDuplication = true;
+    options.segmenter.alloc.pipelined = false; // serial operator issue
+    return std::make_unique<CmSwitchCompiler>(std::move(chip), options,
+                                              "puma");
+}
+
+} // namespace cmswitch

@@ -1,0 +1,85 @@
+#include "compiler/codegen.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+MetaProgram
+generateProgram(const std::string &model_name, const Deha &deha,
+                const std::vector<ScheduledOp> &ops,
+                const ScheduleResult &schedule, bool pipelined_body)
+{
+    MetaProgram program(model_name, deha.config().name);
+    s64 phys_compute = deha.config().numSwitchArrays;
+
+    for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
+        const SegmentDecision &d = schedule.segments[s];
+        SegmentRecord record;
+        record.pipelinedBody = pipelined_body;
+        record.plan = d.alloc.plan;
+        record.reusedArrays = d.alloc.reusedArrays;
+        record.plannedIntra = d.alloc.intraLatency;
+        record.plannedInter = d.interTotal();
+
+        // Prologue step 2: mode switches (Eq. 1).
+        SwitchDelta delta = deha.switchesBetween(phys_compute, d.alloc.plan);
+        if (delta.memToCompute > 0) {
+            record.prologue.push_back(MetaOp::makeSwitch(
+                ArrayMode::kCompute, 0, delta.memToCompute));
+        }
+        if (delta.computeToMem > 0) {
+            record.prologue.push_back(MetaOp::makeSwitch(
+                ArrayMode::kMemory, 0, delta.computeToMem));
+        }
+        phys_compute = deha.applySwitches(phys_compute, delta);
+
+        // Prologue step 3: reload boundary data + program weights.
+        if (d.loadBytes > 0) {
+            record.prologue.push_back(MetaOp::makeLoad(
+                "seg" + std::to_string(s) + ".inbound", d.loadBytes));
+        }
+        for (s64 i = d.lo; i < d.hi; ++i) {
+            const ScheduledOp &op = ops[static_cast<std::size_t>(i)];
+            const OpAllocation &alloc =
+                d.alloc.allocs[static_cast<std::size_t>(i - d.lo)];
+            if (op.work.dynamicWeights)
+                continue; // programmed at runtime, inside the body
+            s64 copies = std::max<s64>(
+                1, alloc.computeArrays / std::max<s64>(1, op.work.weightTiles));
+            record.prologue.push_back(MetaOp::makeLoadWeight(
+                op.work.name, op.work.weightBytes * copies,
+                alloc.computeArrays, op.work.opId));
+        }
+
+        // Body: the pipelined parallel block.
+        for (s64 i = d.lo; i < d.hi; ++i) {
+            record.body.push_back(MetaOp::makeCompute(
+                ops[static_cast<std::size_t>(i)].work,
+                d.alloc.allocs[static_cast<std::size_t>(i - d.lo)]));
+        }
+
+        // Epilogue step 1 belongs to the *next* boundary: the successor
+        // segment's storeBytes were produced here.
+        if (s + 1 < schedule.segments.size()) {
+            const SegmentDecision &next = schedule.segments[s + 1];
+            if (next.storeBytes > 0) {
+                record.epilogue.push_back(MetaOp::makeStore(
+                    "seg" + std::to_string(s) + ".liveout", next.storeBytes));
+            }
+        } else {
+            // Network outputs always leave the chip.
+            s64 out_bytes = 0;
+            for (s64 i = d.lo; i < d.hi; ++i)
+                out_bytes += ops[static_cast<std::size_t>(i)].liveOutBytes;
+            if (out_bytes > 0) {
+                record.epilogue.push_back(
+                    MetaOp::makeStore("network.out", out_bytes));
+            }
+        }
+
+        program.addSegment(std::move(record));
+    }
+    return program;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Code generation: lowers a segmentation schedule to the dual-mode
+ * meta-operator program of paper Sec. 4.4. The store of a segment's
+ * spilled data is emitted in that segment's epilogue; loads, switches
+ * and weight programming appear in the successor's prologue, mirroring
+ * the three inter-segment steps of paper Fig. 10.
+ */
+
+#ifndef CMSWITCH_COMPILER_CODEGEN_HPP
+#define CMSWITCH_COMPILER_CODEGEN_HPP
+
+#include <string>
+
+#include "compiler/segmenter.hpp"
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Lower @p schedule for @p ops into a meta-operator program.
+ *  @param pipelined_body whether the parallel blocks execute pipelined
+ *  (Eq. 9 max) or serially (PUMA/OCC-style). */
+MetaProgram generateProgram(const std::string &model_name, const Deha &deha,
+                            const std::vector<ScheduledOp> &ops,
+                            const ScheduleResult &schedule,
+                            bool pipelined_body = true);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_COMPILER_CODEGEN_HPP

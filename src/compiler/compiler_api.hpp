@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Common compiler interface shared by CMSwitch and the three baseline
+ * compilers (PUMA / OCC / CIM-MLC), so every evaluation harness drives
+ * them interchangeably.
+ */
+
+#ifndef CMSWITCH_COMPILER_COMPILER_API_HPP
+#define CMSWITCH_COMPILER_COMPILER_API_HPP
+
+#include <memory>
+#include <string>
+
+#include "arch/deha.hpp"
+#include "graph/graph.hpp"
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Latency breakdown of a compiled network (compiler estimates). */
+struct LatencyBreakdown
+{
+    Cycles intra = 0;     ///< pipelined segment execution (Eq. 9/10)
+    Cycles writeback = 0; ///< inter-segment data store/reload
+    Cycles modeSwitch = 0;///< Eq. 1 dual-mode switching
+    Cycles rewrite = 0;   ///< Eq. 2 weight (re)programming
+
+    Cycles total() const { return intra + writeback + modeSwitch + rewrite; }
+};
+
+/** Everything a compilation produces. */
+struct CompileResult
+{
+    MetaProgram program;
+    LatencyBreakdown latency;
+    double compileSeconds = 0.0;
+
+    Cycles totalCycles() const { return latency.total(); }
+    s64 numSegments() const { return program.numSegments(); }
+    double avgMemoryArrayRatio() const
+    {
+        return program.avgMemoryArrayRatio();
+    }
+};
+
+/** Abstract DNN-to-CIM compiler. */
+class Compiler
+{
+  public:
+    virtual ~Compiler() = default;
+
+    /** Short identifier ("cmswitch", "cim-mlc", ...). */
+    virtual std::string name() const = 0;
+
+    /** Compile @p graph for the chip this compiler was built with. */
+    virtual CompileResult compile(const Graph &graph) = 0;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_COMPILER_COMPILER_API_HPP

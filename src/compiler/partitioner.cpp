@@ -1,0 +1,215 @@
+#include "compiler/partitioner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Book-keeping while walking the graph in topological order. */
+struct TensorInfo
+{
+    std::vector<s64> producers; ///< sched-op indices producing this data
+    s64 chainBytes = 0;         ///< narrowest tensor along the FU chain
+    s64 pendingElems = 0;       ///< FU work waiting for a CIM host op
+};
+
+/** Default sub-operator tile budget: chip minus a bandwidth reserve. */
+s64
+defaultTileBudget(const Deha &deha)
+{
+    s64 n = deha.config().numSwitchArrays;
+    return std::max<s64>(1, n - std::max<s64>(2, n / 12));
+}
+
+/**
+ * Split @p base into slices of at most @p budget weight tiles along the
+ * output-column / weight-copy dimension: every slice keeps the full
+ * moving input but owns a disjoint share of weights, MACs and output
+ * (paper Sec. 4.3.1's greedy sub-operator partitioning).
+ */
+std::vector<OpWorkload>
+splitWorkload(const OpWorkload &base, s64 budget)
+{
+    if (base.weightTiles <= budget)
+        return {base};
+
+    std::vector<OpWorkload> out;
+    s64 sub_count = ceilDiv(base.weightTiles, budget);
+    for (s64 k = 0; k < sub_count; ++k) {
+        s64 tiles_lo = k * base.weightTiles / sub_count;
+        s64 tiles_hi = (k + 1) * base.weightTiles / sub_count;
+        s64 tiles = tiles_hi - tiles_lo;
+        double frac = static_cast<double>(tiles)
+                    / static_cast<double>(base.weightTiles);
+        OpWorkload sub = base;
+        sub.name = base.name + ".part" + std::to_string(k);
+        sub.weightTiles = tiles;
+        sub.macs = static_cast<s64>(static_cast<double>(base.macs) * frac);
+        sub.weightBytes =
+            static_cast<s64>(static_cast<double>(base.weightBytes) * frac);
+        // Column/head splits share the moving input across slices but
+        // partition the output.
+        sub.inputBytes = base.inputBytes;
+        sub.outputBytes =
+            std::max<s64>(1, static_cast<s64>(
+                                 static_cast<double>(base.outputBytes) * frac));
+        sub.vectorElems =
+            static_cast<s64>(static_cast<double>(base.vectorElems) * frac);
+        sub.aiMacsPerByte =
+            static_cast<double>(sub.macs)
+            / static_cast<double>(sub.weightBytes + sub.inputBytes
+                                  + sub.outputBytes);
+        out.push_back(std::move(sub));
+    }
+    cmswitch_assert(!out.empty(), "split produced no slices");
+    return out;
+}
+
+} // namespace
+
+std::vector<ScheduledOp>
+flattenGraph(const Graph &graph, const Deha &deha,
+             const PartitionOptions &options)
+{
+    s64 budget = options.maxTilesPerSubOp > 0 ? options.maxTilesPerSubOp
+                                              : defaultTileBudget(deha);
+    cmswitch_fatal_if(budget < 1, "tile budget must be >= 1");
+
+    std::vector<TensorInfo> info(static_cast<std::size_t>(graph.numTensors()));
+    for (TensorId t = 0; t < graph.numTensors(); ++t)
+        info[static_cast<std::size_t>(t)].chainBytes = graph.tensor(t).bytes();
+
+    std::vector<ScheduledOp> sched;
+
+    for (OpId id : graph.topoOrder()) {
+        const Operator &op = graph.op(id);
+
+        if (op.isCim()) {
+            OpWorkload base = makeWorkload(graph, id, deha);
+
+            // Dual-mode-aware slice size: balance the Eq. 10 compute
+            // and memory rates of a slice occupying t* compute arrays
+            // with the rest of the chip in memory mode.
+            s64 op_budget = budget;
+            if (options.dualModeAware) {
+                const ChipConfig &chip = deha.config();
+                double n = static_cast<double>(chip.numSwitchArrays);
+                double ai = base.aiMacsPerByte;
+                double t_star = (chip.internalBwPerArray * n + chip.dMain())
+                              * ai
+                              / (chip.opPerCycle * base.utilization
+                                 + chip.internalBwPerArray * ai);
+                s64 floor_tiles =
+                    std::max<s64>(4, chip.numSwitchArrays / 12);
+                op_budget = std::clamp<s64>(static_cast<s64>(t_star),
+                                            floor_tiles, budget);
+            }
+
+            // Fold pending upstream FU work into this op.
+            s64 pending = 0;
+            for (TensorId t : op.inputs)
+                pending += info[static_cast<std::size_t>(t)].pendingElems;
+            base.vectorElems += pending;
+
+            // Gather predecessor edges (dedup by producer index).
+            std::map<s64, s64> edges; // producer index -> bytes
+            for (TensorId t : op.inputs) {
+                const TensorInfo &ti = info[static_cast<std::size_t>(t)];
+                if (ti.producers.empty())
+                    continue;
+                s64 per_producer = std::max<s64>(
+                    1, ti.chainBytes
+                           / static_cast<s64>(ti.producers.size()));
+                for (s64 p : ti.producers) {
+                    auto [it, inserted] = edges.insert({p, per_producer});
+                    if (!inserted)
+                        it->second = std::max(it->second, per_producer);
+                }
+            }
+
+            std::vector<OpWorkload> slices = splitWorkload(base, op_budget);
+            std::vector<s64> indices;
+            for (std::size_t k = 0; k < slices.size(); ++k) {
+                ScheduledOp s;
+                s.work = std::move(slices[k]);
+                s.subIndex = static_cast<s64>(k);
+                s.subCount = static_cast<s64>(slices.size());
+                for (const auto &[from, bytes] : edges) {
+                    s.preds.push_back(from);
+                    s.reuseBytes.push_back(
+                        std::max<s64>(1, bytes
+                                             / static_cast<s64>(slices.size())));
+                }
+                indices.push_back(static_cast<s64>(sched.size()));
+                sched.push_back(std::move(s));
+            }
+
+            for (TensorId t : op.outputs) {
+                TensorInfo &ti = info[static_cast<std::size_t>(t)];
+                ti.producers = indices;
+                ti.chainBytes = graph.tensor(t).bytes();
+                ti.pendingElems = 0;
+                if (graph.tensor(t).kind == TensorKind::kOutput) {
+                    for (s64 idx : indices) {
+                        sched[static_cast<std::size_t>(idx)].liveOutBytes +=
+                            graph.tensor(t).bytes()
+                            / static_cast<s64>(indices.size());
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Function-unit operator: attach to the nearest upstream CIM op
+        // if one exists, otherwise defer downstream via pendingElems.
+        OpProfile p = profileOp(graph, id);
+        s64 elems = op.kind == OpKind::kReshape ? 0 : p.vectorElems;
+
+        std::vector<s64> upstream;
+        s64 chain_bytes = 0;
+        s64 pending = elems;
+        for (TensorId t : op.inputs) {
+            const TensorInfo &ti = info[static_cast<std::size_t>(t)];
+            if (!ti.producers.empty() && upstream.empty()) {
+                upstream = ti.producers;
+                chain_bytes = ti.chainBytes;
+            }
+            pending += ti.pendingElems;
+        }
+
+        if (!upstream.empty()) {
+            // Fold this FU op's work onto its producer(s).
+            s64 share = std::max<s64>(
+                1, pending / static_cast<s64>(upstream.size()));
+            for (s64 idx : upstream)
+                sched[static_cast<std::size_t>(idx)].work.vectorElems += share;
+            pending = 0;
+        }
+
+        for (TensorId t : op.outputs) {
+            TensorInfo &ti = info[static_cast<std::size_t>(t)];
+            ti.producers = upstream;
+            ti.chainBytes =
+                upstream.empty()
+                    ? graph.tensor(t).bytes()
+                    : std::min(chain_bytes, graph.tensor(t).bytes());
+            ti.pendingElems = pending;
+            if (graph.tensor(t).kind == TensorKind::kOutput) {
+                for (s64 idx : upstream) {
+                    sched[static_cast<std::size_t>(idx)].liveOutBytes +=
+                        graph.tensor(t).bytes()
+                        / std::max<s64>(1,
+                                        static_cast<s64>(upstream.size()));
+                }
+            }
+        }
+    }
+
+    return sched;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Front-end flattening (paper Sec. 4.3.1): extracts the topologically
+ * sorted CIM-supportable operator list from a graph, fuses function-
+ * unit operators onto their neighbouring CIM operator as epilogues, and
+ * greedily splits any operator whose weight tiles exceed the chip into
+ * sub-operators that can be fully mapped.
+ */
+
+#ifndef CMSWITCH_COMPILER_PARTITIONER_HPP
+#define CMSWITCH_COMPILER_PARTITIONER_HPP
+
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "graph/graph.hpp"
+
+namespace cmswitch {
+
+/** One schedulable unit after flattening/partitioning. */
+struct ScheduledOp
+{
+    OpWorkload work;
+    s64 subIndex = 0;  ///< which slice of the original operator
+    s64 subCount = 1;  ///< total slices the operator was split into
+
+    /** Indices (into the ScheduledOp list) of direct data predecessors. */
+    std::vector<s64> preds;
+
+    /** Bytes of this op's output consumed by later scheduled ops or by
+     *  the network output (live across its segment boundary). */
+    s64 liveOutBytes = 0;
+
+    /** Bytes that may be handed from producer to consumer through a
+     *  shared memory-mode array (Eq. 6 reuse upper bound), keyed
+     *  parallel to preds. */
+    std::vector<s64> reuseBytes;
+};
+
+/** Options controlling partitioning granularity. */
+struct PartitionOptions
+{
+    /**
+     * Largest weight-tile count a sub-operator may occupy. Defaults to
+     * 0 == "derive from the chip": the greedy splitter targets the
+     * whole array budget, leaving a small bandwidth reserve.
+     */
+    s64 maxTilesPerSubOp = 0;
+
+    /**
+     * Dual-mode-aware granularity (paper Sec. 4.3.1: partition
+     * granularity is "determined by the available on-chip resources").
+     * When enabled, each operator's slice size balances the compute
+     * rate of its mapped tiles against the memory-mode bandwidth the
+     * remaining arrays can contribute under Eq. 10:
+     *
+     *   t* * OP_cim * util = (D_cim * (N - t*) + D_main) * AI
+     *
+     * Low-AI operators (LLM decode) get small slices so most arrays
+     * can serve as memory; high-AI operators keep large slices.
+     * Fixed-mode baselines leave this off (max-fill slicing).
+     */
+    bool dualModeAware = false;
+};
+
+/**
+ * Flatten @p graph for @p deha. The result is topologically ordered;
+ * sub-operators of one operator are consecutive and chained (slice k+1
+ * depends on nothing of slice k except chip occupancy, but we keep the
+ * original operator ordering).
+ */
+std::vector<ScheduledOp> flattenGraph(const Graph &graph, const Deha &deha,
+                                      const PartitionOptions &options = {});
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_COMPILER_PARTITIONER_HPP

@@ -1,0 +1,374 @@
+#include "compiler/segmenter.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Hard cap on ops per segment, a safety net for the DP width. */
+constexpr s64 kMaxSegmentOps = 64;
+
+/** Signature of a segment's workloads + intra edges for the cache. */
+std::string
+segmentSignature(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi)
+{
+    std::ostringstream oss;
+    for (s64 i = lo; i < hi; ++i) {
+        const OpWorkload &w = ops[static_cast<std::size_t>(i)].work;
+        oss << w.weightTiles << ':' << w.macs << ':' << w.weightBytes << ':'
+            << w.inputBytes << ':' << w.outputBytes << ':' << w.vectorElems
+            << ':' << w.movingRows << ':' << (w.dynamicWeights ? 1 : 0) << ':'
+            << formatDouble(w.utilization, 5) << ';';
+        for (std::size_t e = 0;
+             e < ops[static_cast<std::size_t>(i)].preds.size(); ++e) {
+            s64 p = ops[static_cast<std::size_t>(i)].preds[e];
+            if (p >= lo && p < hi) {
+                oss << (p - lo) << '>' << (i - lo) << '='
+                    << ops[static_cast<std::size_t>(i)].reuseBytes[e] << ',';
+            }
+        }
+        oss << '|';
+    }
+    return oss.str();
+}
+
+} // namespace
+
+Segmenter::Segmenter(const CostModel &cost, SegmenterOptions options)
+    : cost_(&cost), options_(options), allocator_(cost, options.alloc)
+{
+}
+
+SegmentAllocation
+Segmenter::allocateCached(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi)
+{
+    // Fast path: this exact range was priced before in this run.
+    s64 range_key = lo * (static_cast<s64>(ops.size()) + 1) + hi;
+    auto rit = rangeCache_.find(range_key);
+    if (rit != rangeCache_.end()) {
+        ++cacheHits_;
+        return rit->second;
+    }
+
+    std::string key = segmentSignature(ops, lo, hi);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        rangeCache_.emplace(range_key, it->second);
+        return it->second;
+    }
+    ++cacheMisses_;
+    SegmentAllocation alloc = allocator_.allocate(makeSegmentView(ops, lo, hi));
+    cache_.emplace(std::move(key), alloc);
+    rangeCache_.emplace(range_key, alloc);
+    return alloc;
+}
+
+s64
+Segmenter::liveOutBytes(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi,
+                        s64 boundary) const
+{
+    // Store-side traffic: each producer whose data is consumed at or
+    // beyond the boundary spills its tensor once (widest edge), plus
+    // any network outputs. lastConsumer_/maxEdgeBytes_ are prefix
+    // structures built by run().
+    s64 total = 0;
+    for (s64 i = lo; i < hi; ++i) {
+        total += ops[static_cast<std::size_t>(i)].liveOutBytes; // net outputs
+        if (lastConsumer_[static_cast<std::size_t>(i)] >= boundary)
+            total += maxEdgeBytes_[static_cast<std::size_t>(i)];
+    }
+    return total;
+}
+
+s64
+Segmenter::inboundBytes(const std::vector<ScheduledOp> &ops, s64 lo,
+                        s64 hi) const
+{
+    s64 total = 0;
+    for (s64 i = lo; i < hi; ++i) {
+        const ScheduledOp &op = ops[static_cast<std::size_t>(i)];
+        for (std::size_t e = 0; e < op.preds.size(); ++e) {
+            if (op.preds[e] < lo)
+                total += op.reuseBytes[e];
+        }
+    }
+    return total;
+}
+
+void
+Segmenter::interCost(const std::vector<ScheduledOp> &ops,
+                     const SegmentAllocation &prev, s64 prev_lo, s64 lo,
+                     s64 hi, const SegmentAllocation &cur, s64 phys_compute,
+                     SegmentDecision *decision) const
+{
+    const ChipConfig &chip = cost_->chip();
+    const Deha &deha = cost_->deha();
+
+    // Step 2 (Eq. 1): mode switching from the current physical state.
+    SwitchDelta delta = deha.switchesBetween(phys_compute, cur.plan);
+    decision->interSwitch = deha.switchLatency(delta);
+
+    // Step 3 (Eq. 2): (re)programming the segment's static weights.
+    std::vector<OpWorkload> ws;
+    for (s64 i = lo; i < hi; ++i)
+        ws.push_back(ops[static_cast<std::size_t>(i)].work);
+    decision->interRewrite = cost_->weightRewriteLatency(ws, cur.allocs);
+
+    // Step 1: write-back + reload around the boundary.
+    s64 store_bytes = 0;
+    s64 carried = 0;
+    if (prev_lo >= 0) {
+        s64 direct = 0;
+        for (s64 i = lo; i < hi; ++i) {
+            const ScheduledOp &op = ops[static_cast<std::size_t>(i)];
+            for (std::size_t e = 0; e < op.preds.size(); ++e) {
+                if (op.preds[e] >= prev_lo && op.preds[e] < lo)
+                    direct += op.reuseBytes[e];
+            }
+        }
+        s64 carry_cap = chip.bufferBytes;
+        if (options_.alloc.allowMemoryMode) {
+            carry_cap += std::min(prev.plan.memoryArrays,
+                                  cur.plan.memoryArrays)
+                       * chip.arrayMemoryBytes();
+        }
+        carried = options_.livenessAwareWriteback ? std::min(direct, carry_cap)
+                                                  : 0;
+        if (options_.livenessAwareWriteback) {
+            store_bytes = liveOutBytes(ops, prev_lo, lo, lo) - carried;
+        } else {
+            for (s64 i = prev_lo; i < lo; ++i)
+                store_bytes += ops[static_cast<std::size_t>(i)].work.outputBytes;
+        }
+        store_bytes = std::max<s64>(0, store_bytes);
+    }
+    s64 load_bytes = std::max<s64>(0, inboundBytes(ops, lo, hi) - carried);
+    decision->storeBytes = store_bytes;
+    decision->loadBytes = load_bytes;
+    decision->carriedBytes = carried;
+    decision->interWriteback = cost_->mainMemoryTransfer(store_bytes)
+                             + cost_->mainMemoryTransfer(load_bytes);
+}
+
+ScheduleResult
+Segmenter::run(const std::vector<ScheduledOp> &ops)
+{
+    if (ops.empty())
+        return ScheduleResult{};
+
+    rangeCache_.clear();
+    lastConsumer_.assign(ops.size(), -1);
+    maxEdgeBytes_.assign(ops.size(), 0);
+    for (std::size_t c = 0; c < ops.size(); ++c) {
+        for (std::size_t e = 0; e < ops[c].preds.size(); ++e) {
+            auto p = static_cast<std::size_t>(ops[c].preds[e]);
+            lastConsumer_[p] = std::max(lastConsumer_[p],
+                                        static_cast<s64>(c));
+            maxEdgeBytes_[p] = std::max(maxEdgeBytes_[p],
+                                        ops[c].reuseBytes[e]);
+        }
+    }
+    return options_.useDp ? runDp(ops) : runGreedy(ops);
+}
+
+ScheduleResult
+Segmenter::runGreedy(const std::vector<ScheduledOp> &ops)
+{
+    const s64 n = static_cast<s64>(ops.size());
+    const s64 n_cim = cost_->chip().numSwitchArrays;
+
+    // Greedy segmentation: extend the open segment while doing so is
+    // locally profitable — the joint segment must not cost more than
+    // cutting here (intra + Eq. 2 rewrite + boundary traffic). This is
+    // the one-pass scheduling the fixed-mode baseline stacks perform;
+    // only the DP (Alg. 1) explores alternative cut points globally.
+    auto segment_cost = [&](s64 lo, s64 hi) -> Cycles {
+        SegmentAllocation a = allocateCached(ops, lo, hi);
+        if (!a.feasible())
+            return kInfCycles;
+        std::vector<OpWorkload> ws;
+        std::vector<OpAllocation> as;
+        for (s64 i = lo; i < hi; ++i) {
+            ws.push_back(ops[static_cast<std::size_t>(i)].work);
+            as.push_back(a.allocs[static_cast<std::size_t>(i - lo)]);
+        }
+        return a.intraLatency + cost_->weightRewriteLatency(ws, as);
+    };
+
+    std::vector<std::pair<s64, s64>> ranges;
+    s64 lo = 0;
+    while (lo < n) {
+        s64 hi = lo + 1;
+        s64 tiles = ops[static_cast<std::size_t>(lo)].work.weightTiles;
+        cmswitch_assert(tiles <= n_cim, "operator ",
+                        ops[static_cast<std::size_t>(lo)].work.name,
+                        " does not fit the chip even alone");
+        while (hi < n && hi - lo < kMaxSegmentOps) {
+            s64 t = ops[static_cast<std::size_t>(hi)].work.weightTiles;
+            if (tiles + t > n_cim)
+                break;
+            Cycles joined = segment_cost(lo, hi + 1);
+            if (joined >= kInfCycles)
+                break;
+            Cycles boundary =
+                cost_->mainMemoryTransfer(liveOutBytes(ops, lo, hi, hi))
+                + cost_->mainMemoryTransfer(inboundBytes(ops, hi, hi + 1));
+            Cycles separate = segment_cost(lo, hi) + segment_cost(hi, hi + 1)
+                            + boundary;
+            if (joined > separate)
+                break;
+            tiles += t;
+            ++hi;
+        }
+        ranges.emplace_back(lo, hi);
+        lo = hi;
+    }
+    return finalize(ops, std::move(ranges));
+}
+
+ScheduleResult
+Segmenter::runDp(const std::vector<ScheduledOp> &ops)
+{
+    const s64 n = static_cast<s64>(ops.size());
+    const s64 n_cim = cost_->chip().numSwitchArrays;
+
+    // Feasible segment starts for each boundary i: [minStart[i], i).
+    std::vector<s64> min_start(static_cast<std::size_t>(n) + 1, 0);
+    {
+        s64 tiles = 0;
+        s64 k = 0;
+        for (s64 i = 0; i < n; ++i) {
+            tiles += ops[static_cast<std::size_t>(i)].work.weightTiles;
+            while (tiles > n_cim || i - k + 1 > kMaxSegmentOps) {
+                tiles -= ops[static_cast<std::size_t>(k)].work.weightTiles;
+                ++k;
+            }
+            cmswitch_assert(k <= i, "operator ",
+                            ops[static_cast<std::size_t>(i)].work.name,
+                            " does not fit the chip even alone");
+            min_start[static_cast<std::size_t>(i) + 1] = k;
+        }
+    }
+
+    // dp[i] = states for boundary i, keyed by the start of the segment
+    // that ends at i. Value: best prefix cost + backlink (start of the
+    // previous segment).
+    struct State
+    {
+        Cycles cost = kInfCycles;
+        s64 prevStart = -1;
+    };
+    std::vector<std::map<s64, State>> dp(static_cast<std::size_t>(n) + 1);
+
+    for (s64 i = 1; i <= n; ++i) {
+        for (s64 k = min_start[static_cast<std::size_t>(i)]; k < i; ++k) {
+            SegmentAllocation cur = allocateCached(ops, k, i);
+            if (!cur.feasible())
+                continue;
+            State best;
+            if (k == 0) {
+                // First segment: switches from the all-compute boot
+                // state, initial weight load, no predecessor data.
+                SegmentDecision d;
+                interCost(ops, SegmentAllocation{}, -1, k, i, cur,
+                          n_cim, &d);
+                best.cost = cur.intraLatency + d.interTotal();
+                best.prevStart = -1;
+            } else {
+                for (const auto &[j, state] : dp[static_cast<std::size_t>(k)]) {
+                    if (state.cost >= kInfCycles)
+                        continue;
+                    SegmentAllocation prev = allocateCached(ops, j, k);
+                    SegmentDecision d;
+                    // Approximate physical state entering the segment:
+                    // everything not used as memory by the previous
+                    // segment is (or can be) in compute mode.
+                    s64 phys = n_cim - prev.plan.memoryArrays;
+                    interCost(ops, prev, j, k, i, cur, phys, &d);
+                    Cycles cost = state.cost + cur.intraLatency
+                                + d.interTotal();
+                    if (cost < best.cost) {
+                        best.cost = cost;
+                        best.prevStart = j;
+                    }
+                }
+            }
+            if (best.cost < kInfCycles)
+                dp[static_cast<std::size_t>(i)][k] = best;
+        }
+    }
+
+    // Pick the best terminal state and backtrack the segmentation.
+    cmswitch_assert(!dp[static_cast<std::size_t>(n)].empty(),
+                    "network has no feasible segmentation");
+    s64 best_k = -1;
+    Cycles best_cost = kInfCycles;
+    for (const auto &[k, state] : dp[static_cast<std::size_t>(n)]) {
+        if (state.cost < best_cost) {
+            best_cost = state.cost;
+            best_k = k;
+        }
+    }
+    std::vector<std::pair<s64, s64>> ranges;
+    s64 i = n;
+    s64 k = best_k;
+    while (k >= 0) {
+        ranges.emplace_back(k, i);
+        s64 prev = dp[static_cast<std::size_t>(i)].at(k).prevStart;
+        i = k;
+        k = prev;
+    }
+    std::reverse(ranges.begin(), ranges.end());
+    return finalize(ops, std::move(ranges));
+}
+
+ScheduleResult
+Segmenter::finalize(const std::vector<ScheduledOp> &ops,
+                    std::vector<std::pair<s64, s64>> ranges)
+{
+    const Deha &deha = cost_->deha();
+    const s64 n_cim = cost_->chip().numSwitchArrays;
+
+    ScheduleResult result;
+    s64 phys_compute = n_cim; // boot: all switchable arrays in compute
+    SegmentAllocation prev;
+    s64 prev_lo = -1;
+
+    for (auto [lo, hi] : ranges) {
+        SegmentDecision d;
+        d.lo = lo;
+        d.hi = hi;
+        d.alloc = allocateCached(ops, lo, hi);
+        if (!d.alloc.feasible())
+            return ScheduleResult{};
+        interCost(ops, prev, prev_lo, lo, hi, d.alloc, phys_compute, &d);
+
+        result.latency.intra += d.alloc.intraLatency;
+        result.latency.writeback += d.interWriteback;
+        result.latency.modeSwitch += d.interSwitch;
+        result.latency.rewrite += d.interRewrite;
+
+        SwitchDelta delta = deha.switchesBetween(phys_compute, d.alloc.plan);
+        phys_compute = deha.applySwitches(phys_compute, delta);
+
+        prev = d.alloc;
+        prev_lo = lo;
+        result.segments.push_back(std::move(d));
+    }
+
+    // Final network outputs leave the chip.
+    if (!ranges.empty()) {
+        auto [lo, hi] = ranges.back();
+        result.latency.writeback += cost_->mainMemoryTransfer(
+            liveOutBytes(ops, lo, hi, static_cast<s64>(ops.size())));
+    }
+    return result;
+}
+
+} // namespace cmswitch

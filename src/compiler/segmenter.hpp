@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dual-mode-aware network segmentation (paper Sec. 4.3.1, Alg. 1).
+ *
+ * Dynamic programming over the flattened operator list: L[j] = best
+ * cost of executing ops [0, j), transitioning from L[i] by running
+ * segment [i, j) with its MIP-allocated resources, paying the three
+ * inter-segment overheads (write-back, Eq. 1 mode switch, Eq. 2 weight
+ * rewrite). Infeasible windows (weights exceed the chip) are pruned,
+ * which bounds the DP width; repeated segment shapes (transformer
+ * blocks) hit a signature cache so each block is optimised once
+ * (paper Sec. 5.6).
+ */
+
+#ifndef CMSWITCH_COMPILER_SEGMENTER_HPP
+#define CMSWITCH_COMPILER_SEGMENTER_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/allocator.hpp"
+#include "compiler/compiler_api.hpp"
+
+namespace cmswitch {
+
+/** Scheduling policy of a compiler built on the segmenter. */
+struct SegmenterOptions
+{
+    AllocatorOptions alloc;
+
+    /** true: Alg. 1 DP; false: greedy max-fill segmentation. */
+    bool useDp = true;
+
+    /** true: only live-out data is written back between segments;
+     *  false: every segment output spills (naive baselines). */
+    bool livenessAwareWriteback = true;
+};
+
+/** One chosen segment with its allocation and entry overheads. */
+struct SegmentDecision
+{
+    s64 lo = 0; ///< first flattened op index (inclusive)
+    s64 hi = 0; ///< last flattened op index (exclusive)
+    SegmentAllocation alloc;
+
+    /** Inter-segment overheads paid when entering this segment. */
+    Cycles interWriteback = 0;
+    Cycles interSwitch = 0;
+    Cycles interRewrite = 0;
+
+    /** Boundary traffic backing interWriteback (for code generation). */
+    s64 storeBytes = 0;   ///< spilled by the predecessor segment
+    s64 loadBytes = 0;    ///< fetched on entry of this segment
+    s64 carriedBytes = 0; ///< handed over on-chip (no main-memory trip)
+
+    Cycles interTotal() const
+    {
+        return interWriteback + interSwitch + interRewrite;
+    }
+};
+
+/** Full schedule of a network. */
+struct ScheduleResult
+{
+    std::vector<SegmentDecision> segments;
+    LatencyBreakdown latency;
+
+    bool feasible() const { return !segments.empty(); }
+};
+
+/**
+ * The segmentation engine. Holds a per-instance cache of segment
+ * allocations keyed by workload signature, so reuse it across graphs of
+ * the same model family when timing compilation (Fig. 18).
+ */
+class Segmenter
+{
+  public:
+    Segmenter(const CostModel &cost, SegmenterOptions options);
+
+    /** Segment + allocate the flattened network. */
+    ScheduleResult run(const std::vector<ScheduledOp> &ops);
+
+    /** Cache statistics (allocator invocations saved by signatures). */
+    s64 cacheHits() const { return cacheHits_; }
+    s64 cacheMisses() const { return cacheMisses_; }
+
+  private:
+    SegmentAllocation allocateCached(const std::vector<ScheduledOp> &ops,
+                                     s64 lo, s64 hi);
+
+    /** Bytes produced in [lo,hi) and consumed at/after @p boundary. */
+    s64 liveOutBytes(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi,
+                     s64 boundary) const;
+
+    /** Bytes consumed by [lo,hi) that were produced before @p lo. */
+    s64 inboundBytes(const std::vector<ScheduledOp> &ops, s64 lo,
+                     s64 hi) const;
+
+    /** Inter-segment cost entering segment [lo,hi) from a predecessor
+     *  plan (write-back + switch + rewrite). */
+    void interCost(const std::vector<ScheduledOp> &ops,
+                   const SegmentAllocation &prev, s64 prev_lo, s64 lo, s64 hi,
+                   const SegmentAllocation &cur, s64 phys_compute,
+                   SegmentDecision *decision) const;
+
+    ScheduleResult runDp(const std::vector<ScheduledOp> &ops);
+    ScheduleResult runGreedy(const std::vector<ScheduledOp> &ops);
+
+    /** Fill latency totals + physical mode tracking over the chosen
+     *  segment list. */
+    ScheduleResult finalize(const std::vector<ScheduledOp> &ops,
+                            std::vector<std::pair<s64, s64>> ranges);
+
+    const CostModel *cost_;
+    SegmenterOptions options_;
+    DualModeAllocator allocator_;
+
+    std::map<std::string, SegmentAllocation> cache_;
+    s64 cacheHits_ = 0;
+    s64 cacheMisses_ = 0;
+
+    /** @{ Per-run acceleration structures (rebuilt by run()). */
+    std::map<s64, SegmentAllocation> rangeCache_; ///< key lo * (n+1) + hi
+    std::vector<s64> lastConsumer_; ///< per op: max consumer index or -1
+    std::vector<s64> maxEdgeBytes_; ///< per op: widest outgoing edge
+    /** @} */
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_COMPILER_SEGMENTER_HPP

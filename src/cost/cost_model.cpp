@@ -1,0 +1,191 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+OpWorkload
+makeWorkload(const Graph &graph, OpId id, const Deha &deha)
+{
+    const Operator &op = graph.op(id);
+    cmswitch_assert(op.isCim(), "workloads are built for CIM ops only: ",
+                    op.name);
+    OpProfile p = profileOp(graph, id);
+
+    OpWorkload w;
+    w.opId = id;
+    w.name = op.name;
+    w.kind = op.kind;
+    w.cls = op.cls;
+    w.macs = p.macs;
+    w.weightBytes = p.weightBytes;
+    w.inputBytes = p.inputBytes;
+    w.outputBytes = p.outputBytes;
+    w.vectorElems = p.vectorElems;
+    w.weightTiles = deha.weightTiles(p.weightRows, p.weightCols,
+                                     p.weightCopies);
+    w.utilization = deha.tileUtilization(p.weightRows, p.weightCols,
+                                         p.weightCopies);
+    s64 weight_elems = p.weightRows * p.weightCols * p.weightCopies;
+    w.movingRows = weight_elems > 0 ? std::max<s64>(1, p.macs / weight_elems)
+                                    : 1;
+    w.dynamicWeights = (op.kind == OpKind::kDynMatMul);
+    w.aiMacsPerByte = p.aiMacsPerByte();
+    return w;
+}
+
+CostModel::CostModel(const Deha &deha)
+    : deha_(&deha)
+{
+}
+
+s64
+CostModel::minComputeArrays(const OpWorkload &w) const
+{
+    return w.weightTiles;
+}
+
+s64
+CostModel::maxUsefulComputeArrays(const OpWorkload &w) const
+{
+    // Duplication splits the moving rows across weight copies; with only
+    // one moving row (e.g. single-token decode) duplication cannot help.
+    s64 max_dup = std::max<s64>(1, w.movingRows);
+    return w.weightTiles * max_dup;
+}
+
+s64
+CostModel::maxUsefulMemoryArrays(const OpWorkload &w) const
+{
+    // Memory-mode arrays stage everything the operator streams —
+    // weights being (re)supplied, activations in, results out. Beyond
+    // the operator's total traffic they add no bandwidth (Eq. 10's M
+    // term saturates at the data the op actually touches).
+    return ceilDiv(w.trafficBytes(), chip().arrayMemoryBytes());
+}
+
+double
+CostModel::computeRate(const OpWorkload &w, s64 compute_arrays) const
+{
+    if (compute_arrays < w.weightTiles)
+        return 0.0;
+    s64 dup = std::min(compute_arrays / w.weightTiles,
+                       std::max<s64>(1, w.movingRows));
+    double active = static_cast<double>(dup * w.weightTiles);
+    return active * chip().opPerCycle * w.utilization;
+}
+
+double
+CostModel::memoryRate(const OpWorkload &w, s64 memory_arrays,
+                      double dmain_fraction) const
+{
+    s64 useful = std::min(memory_arrays, maxUsefulMemoryArrays(w));
+    double bandwidth = static_cast<double>(useful)
+                     * chip().internalBwPerArray
+                     + dmain_fraction * chip().dMain();
+    return bandwidth * w.aiMacsPerByte;
+}
+
+Cycles
+CostModel::fixedOverhead(const OpWorkload &w) const
+{
+    Cycles fixed = 0;
+    // Runtime write of a dynamic stationary operand (QK^T / SV): the
+    // producing rows are programmed into the compute tiles in place.
+    if (w.dynamicWeights) {
+        s64 rows = ceilDiv(w.weightBytes, chip().arrayCols);
+        fixed += rows * chip().writeRowLatency;
+    }
+    // Fused function-unit epilogue (softmax / norm / activation).
+    if (w.vectorElems > 0) {
+        fixed += static_cast<Cycles>(
+            std::ceil(static_cast<double>(w.vectorElems)
+                      / chip().fuOpsPerCycle));
+    }
+    return fixed;
+}
+
+Cycles
+CostModel::opLatency(const OpWorkload &w, const OpAllocation &a,
+                     double dmain_fraction) const
+{
+    double c_rate = computeRate(w, a.computeArrays);
+    if (c_rate <= 0.0)
+        return kInfCycles;
+    double m_rate = memoryRate(w, a.memoryArrays(), dmain_fraction);
+    double rate = std::min(c_rate, m_rate);
+    if (rate <= 0.0)
+        return kInfCycles;
+
+    auto cycles = static_cast<Cycles>(
+        std::ceil(static_cast<double>(w.macs) / rate));
+    return cycles + fixedOverhead(w);
+}
+
+std::vector<double>
+CostModel::dmainShares(const std::vector<OpWorkload> &ws)
+{
+    double total = 0.0;
+    for (const OpWorkload &w : ws)
+        total += static_cast<double>(w.trafficBytes());
+    std::vector<double> shares(ws.size(), 1.0);
+    if (total <= 0.0 || ws.size() <= 1)
+        return shares;
+    for (std::size_t i = 0; i < ws.size(); ++i)
+        shares[i] = static_cast<double>(ws[i].trafficBytes()) / total;
+    return shares;
+}
+
+Cycles
+CostModel::segmentLatency(const std::vector<OpWorkload> &ws,
+                          const std::vector<OpAllocation> &as) const
+{
+    cmswitch_assert(ws.size() == as.size(), "workload/allocation mismatch");
+    std::vector<double> shares = dmainShares(ws);
+    Cycles worst = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        Cycles l = opLatency(ws[i], as[i], shares[i]);
+        if (l >= kInfCycles)
+            return kInfCycles;
+        worst = std::max(worst, l);
+    }
+    return worst;
+}
+
+Cycles
+CostModel::weightRewriteLatency(const std::vector<OpWorkload> &ws,
+                                const std::vector<OpAllocation> &as) const
+{
+    cmswitch_assert(ws.size() == as.size(), "workload/allocation mismatch");
+    // Eq. 2: one operator's arrays are programmed serially while
+    // different operators' arrays fill in parallel, so the segment pays
+    // the maximum Com_Ol * Latency_write. Sub-operator slices of the
+    // same original operator share its write port, so their array
+    // counts sum inside the max. (The abstraction assumes weight supply
+    // from main memory overlaps array programming.)
+    std::map<OpId, s64> group_arrays;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].dynamicWeights)
+            continue; // written during execution, priced in opLatency
+        group_arrays[ws[i].opId] += as[i].computeArrays;
+    }
+    Cycles eq2 = 0;
+    for (const auto &[op, arrays] : group_arrays)
+        eq2 = std::max(eq2, arrays * chip().writeArrayLatency());
+    return eq2;
+}
+
+Cycles
+CostModel::mainMemoryTransfer(s64 bytes) const
+{
+    if (bytes <= 0)
+        return 0;
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / chip().dMain()));
+}
+
+} // namespace cmswitch

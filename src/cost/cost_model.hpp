@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The system performance cost model of paper Sec. 4.3 — per-operator
+ * latency (Eq. 10), pipelined segment latency (Eq. 9), and the three
+ * inter-segment overheads: write-back, mode switch (Eq. 1) and weight
+ * rewrite (Eq. 2). Both the CMSwitch optimizer and all baseline
+ * compilers price their schedules through this one model, so compiler
+ * comparisons are apples-to-apples.
+ */
+
+#ifndef CMSWITCH_COST_COST_MODEL_HPP
+#define CMSWITCH_COST_COST_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/deha.hpp"
+#include "graph/analysis.hpp"
+#include "graph/graph.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/**
+ * A CIM-schedulable unit of work: one (possibly partitioned) CIM
+ * operator plus any function-unit epilogue fused onto it. All shape
+ * analysis is pre-baked so the optimizer never touches the Graph.
+ */
+struct OpWorkload
+{
+    OpId opId = kInvalidOp;    ///< originating graph op (pre-partitioning)
+    std::string name;
+    OpKind kind = OpKind::kMatMul;
+    OpClass cls = OpClass::kOther;
+
+    s64 macs = 0;
+    s64 weightBytes = 0;       ///< stationary operand bytes
+    s64 inputBytes = 0;        ///< moving input bytes
+    s64 outputBytes = 0;
+    s64 vectorElems = 0;       ///< fused FU epilogue work
+
+    s64 weightTiles = 1;       ///< arrays per weight copy (>=1)
+    double utilization = 1.0;  ///< MAC-cell utilization of those tiles
+    s64 movingRows = 1;        ///< independent input rows (duplication cap)
+    bool dynamicWeights = false; ///< kDynMatMul: weights written at runtime
+
+    double aiMacsPerByte = 0.0; ///< AI_Oi of Eq. 10 (MACs per byte)
+
+    /** Total streamed bytes (weights + activations). */
+    s64 trafficBytes() const { return weightBytes + inputBytes + outputBytes; }
+};
+
+/** Build the workload record for CIM op @p id (no partitioning). */
+OpWorkload makeWorkload(const Graph &graph, OpId id, const Deha &deha);
+
+/** Dual-mode CIM arrays granted to one operator (paper Table 1). */
+struct OpAllocation
+{
+    s64 computeArrays = 0; ///< Com_Oi
+    s64 memInArrays = 0;   ///< sum of lambda_min
+    s64 memOutArrays = 0;  ///< sum of lambda_mout
+
+    s64 memoryArrays() const { return memInArrays + memOutArrays; } ///< Mem_Oi
+    s64 total() const { return computeArrays + memoryArrays(); }
+};
+
+/**
+ * Latency oracle over (workload, allocation) pairs. Stateless apart
+ * from the chip description; every method is a pure function.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(const Deha &deha);
+
+    const ChipConfig &chip() const { return deha_->config(); }
+    const Deha &deha() const { return *deha_; }
+
+    /** Fewest compute arrays that can hold one copy of the weights. */
+    s64 minComputeArrays(const OpWorkload &w) const;
+
+    /** Compute arrays beyond which duplication cannot help. */
+    s64 maxUsefulComputeArrays(const OpWorkload &w) const;
+
+    /** Memory arrays beyond which the op's streams are fully on-chip. */
+    s64 maxUsefulMemoryArrays(const OpWorkload &w) const;
+
+    /**
+     * Allocation-independent latency of @p w: runtime writing of a
+     * dynamic stationary operand (QK^T / SV) plus the fused FU
+     * epilogue.
+     */
+    Cycles fixedOverhead(const OpWorkload &w) const;
+
+    /**
+     * Eq. 10: execution latency of @p w with allocation @p a, including
+     * fixedOverhead(). Returns kInfCycles when the allocation cannot
+     * hold the weights.
+     *
+     * @param dmain_fraction share of the main-memory/buffer bandwidth
+     *   this operator receives. D_main is a chip-wide resource: when
+     *   several operators pipeline in one segment, each sees only its
+     *   share (the segment schedulers apportion it by traffic).
+     */
+    Cycles opLatency(const OpWorkload &w, const OpAllocation &a,
+                     double dmain_fraction = 1.0) const;
+
+    /** Traffic-proportional D_main shares for a segment's operators. */
+    static std::vector<double>
+    dmainShares(const std::vector<OpWorkload> &ws);
+
+    /** Eq. 9: pipelined segment latency = max over member ops, with
+     *  D_main shared by traffic. */
+    Cycles segmentLatency(const std::vector<OpWorkload> &ws,
+                          const std::vector<OpAllocation> &as) const;
+
+    /** Eq. 2 plus the DMA stream: cycles to (re)program all static
+     *  weights of a segment into its compute arrays. */
+    Cycles weightRewriteLatency(const std::vector<OpWorkload> &ws,
+                                const std::vector<OpAllocation> &as) const;
+
+    /** Cycles to move @p bytes across the main-memory link. */
+    Cycles mainMemoryTransfer(s64 bytes) const;
+
+    /** Effective MACs/cycle of the compute side (the C of Eq. 10). */
+    double computeRate(const OpWorkload &w, s64 compute_arrays) const;
+
+    /** Effective MACs/cycle of the memory side (the M of Eq. 10). */
+    double memoryRate(const OpWorkload &w, s64 memory_arrays,
+                      double dmain_fraction = 1.0) const;
+
+  private:
+    const Deha *deha_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_COST_COST_MODEL_HPP

@@ -1,0 +1,113 @@
+#include "eval/evaluation.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+EndToEndResult
+evaluateGraph(Compiler &compiler, const Graph &graph)
+{
+    CompileResult r = compiler.compile(graph);
+    EndToEndResult out;
+    out.prefillCycles = r.totalCycles();
+    out.compileSeconds = r.compileSeconds;
+    out.avgMemoryArrayRatio = r.avgMemoryArrayRatio();
+    out.switchCycles = r.latency.modeSwitch;
+    out.segments = r.numSegments();
+    return out;
+}
+
+EndToEndResult
+evaluateGenerative(Compiler &compiler, const TransformerConfig &config,
+                   s64 batch, s64 inputLen, s64 outputLen, s64 kvBuckets)
+{
+    cmswitch_fatal_if(inputLen <= 0 || outputLen <= 0,
+                      "generative workloads need input and output tokens");
+    kvBuckets = std::max<s64>(1, std::min(kvBuckets, outputLen));
+
+    EndToEndResult out;
+
+    // Prefill pass over the prompt.
+    Graph prefill = buildTransformerPrefill(config, batch, inputLen);
+    CompileResult pre = compiler.compile(prefill);
+    out.prefillCycles = pre.totalCycles();
+    out.compileSeconds += pre.compileSeconds;
+    out.switchCycles += pre.latency.modeSwitch;
+    out.segments += pre.numSegments();
+
+    // Decode: one program per KV bucket, weighted by tokens covered.
+    double ratio_weighted = pre.avgMemoryArrayRatio();
+    double ratio_weight = 1.0;
+    for (s64 b = 0; b < kvBuckets; ++b) {
+        s64 tokens_lo = b * outputLen / kvBuckets;
+        s64 tokens_hi = (b + 1) * outputLen / kvBuckets;
+        s64 tokens = tokens_hi - tokens_lo;
+        if (tokens <= 0)
+            continue;
+        s64 kv_len = inputLen + (tokens_lo + tokens_hi) / 2 + 1;
+        Graph step = buildTransformerDecodeStep(config, batch, kv_len);
+        CompileResult dec = compiler.compile(step);
+        out.decodeCycles += dec.totalCycles() * tokens;
+        out.compileSeconds += dec.compileSeconds;
+        out.switchCycles += dec.latency.modeSwitch * tokens;
+        out.segments += dec.numSegments();
+        ratio_weighted += dec.avgMemoryArrayRatio()
+                        * static_cast<double>(tokens);
+        ratio_weight += static_cast<double>(tokens);
+    }
+    out.avgMemoryArrayRatio = ratio_weighted / ratio_weight;
+    return out;
+}
+
+Graph
+buildModelByName(const std::string &name, s64 batch, s64 seqLen)
+{
+    if (name == "vgg16")
+        return buildVgg16(batch);
+    if (name == "resnet18")
+        return buildResNet18(batch);
+    if (name == "resnet50")
+        return buildResNet50(batch);
+    if (name == "mobilenetv2")
+        return buildMobileNetV2(batch);
+    // Transformers: encoder-only evaluates as a prefill pass.
+    return buildTransformerPrefill(transformerConfigByName(name), batch,
+                                   seqLen);
+}
+
+TransformerConfig
+transformerConfigByName(const std::string &name)
+{
+    if (name == "bert-base")
+        return TransformerConfig::bertBase();
+    if (name == "bert-large")
+        return TransformerConfig::bertLarge();
+    if (name == "gpt")
+        return TransformerConfig::gpt();
+    if (name == "llama2-7b")
+        return TransformerConfig::llama2_7b();
+    if (name == "opt-6.7b")
+        return TransformerConfig::opt6_7b();
+    if (name == "opt-13b")
+        return TransformerConfig::opt13b();
+    cmswitch_fatal("unknown transformer model '", name, "'");
+}
+
+EndToEndResult
+evaluateBenchmark(Compiler &compiler, const std::string &name, s64 batch,
+                  s64 seqLen)
+{
+    for (const ZooEntry &entry : fig14Benchmarks()) {
+        if (entry.name == name && entry.generative) {
+            return evaluateGenerative(compiler,
+                                      transformerConfigByName(name), batch,
+                                      seqLen, seqLen);
+        }
+    }
+    Graph g = buildModelByName(name, batch, seqLen);
+    return evaluateGraph(compiler, g);
+}
+
+} // namespace cmswitch

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * End-to-end evaluation harness shared by the tests, benchmarks and
+ * examples: compiles a model with any Compiler and integrates latency
+ * over an inference. Generative models are priced as prefill plus
+ * KV-length-bucketed decode steps (the decode-step program is compiled
+ * once per bucket and multiplied by the tokens it covers — the
+ * approximation documented in DESIGN.md Sec. 9).
+ */
+
+#ifndef CMSWITCH_EVAL_EVALUATION_HPP
+#define CMSWITCH_EVAL_EVALUATION_HPP
+
+#include <string>
+
+#include "compiler/compiler_api.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cmswitch {
+
+/** Aggregated end-to-end numbers for one (compiler, workload) pair. */
+struct EndToEndResult
+{
+    Cycles prefillCycles = 0;
+    Cycles decodeCycles = 0;
+    double compileSeconds = 0.0;
+    double avgMemoryArrayRatio = 0.0; ///< Fig. 16 bottom-row metric
+    Cycles switchCycles = 0;          ///< Sec. 5.5 overhead component
+    s64 segments = 0;
+
+    Cycles totalCycles() const { return prefillCycles + decodeCycles; }
+};
+
+/** Single-pass evaluation (CNNs / encoder-only models). */
+EndToEndResult evaluateGraph(Compiler &compiler, const Graph &graph);
+
+/**
+ * Generative evaluation: prefill of @p inputLen tokens, then
+ * @p outputLen decode steps. Decode latency integrates over
+ * @p kvBuckets representative KV lengths.
+ */
+EndToEndResult evaluateGenerative(Compiler &compiler,
+                                  const TransformerConfig &config, s64 batch,
+                                  s64 inputLen, s64 outputLen,
+                                  s64 kvBuckets = 4);
+
+/**
+ * Build a Fig. 14 benchmark model by zoo name. Transformer models get
+ * @p seqLen (prefill length); CNNs ignore it.
+ */
+Graph buildModelByName(const std::string &name, s64 batch, s64 seqLen = 64);
+
+/** Transformer config by zoo name; fatals for CNN names. */
+TransformerConfig transformerConfigByName(const std::string &name);
+
+/**
+ * Full Fig. 14-style evaluation of one benchmark entry: generative
+ * models run prefill + a short generation (outputLen = seqLen);
+ * everything else runs one pass.
+ */
+EndToEndResult evaluateBenchmark(Compiler &compiler, const std::string &name,
+                                 s64 batch, s64 seqLen = 64);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_EVAL_EVALUATION_HPP

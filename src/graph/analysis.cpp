@@ -1,0 +1,177 @@
+#include "graph/analysis.hpp"
+
+#include <map>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Sum of input tensor bytes excluding the stationary operand index. */
+s64
+movingInputBytes(const Graph &graph, const Operator &op, s64 stationary_idx)
+{
+    s64 total = 0;
+    for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+        if (static_cast<s64>(i) == stationary_idx)
+            continue;
+        total += graph.tensor(op.inputs[i]).bytes();
+    }
+    return total;
+}
+
+s64
+outputBytes(const Graph &graph, const Operator &op)
+{
+    s64 total = 0;
+    for (TensorId t : op.outputs)
+        total += graph.tensor(t).bytes();
+    return total;
+}
+
+} // namespace
+
+double
+OpProfile::aiMacsPerByte() const
+{
+    s64 traffic = trafficBytes();
+    if (traffic <= 0)
+        return 0.0;
+    return static_cast<double>(macs) / static_cast<double>(traffic);
+}
+
+OpProfile
+profileOp(const Graph &graph, OpId id)
+{
+    const Operator &op = graph.op(id);
+    OpProfile p;
+
+    switch (op.kind) {
+      case OpKind::kConv2d: {
+        cmswitch_assert(op.inputs.size() >= 2, "conv needs input+weight");
+        const TensorDesc &in = graph.tensor(op.inputs[0]);
+        const TensorDesc &w = graph.tensor(op.inputs[1]);
+        const TensorDesc &out = graph.tensor(op.outputs[0]);
+        cmswitch_assert(in.shape.rank() == 4 && out.shape.rank() == 4,
+                        "conv expects NCHW tensors: ", op.name);
+        s64 in_c = in.shape.dim(1);
+        s64 macs_per_out = (in_c / op.conv.groups)
+                         * op.conv.kernelH * op.conv.kernelW;
+        p.macs = out.shape.numElements() * macs_per_out;
+        p.weightBytes = w.bytes();
+        p.inputBytes = movingInputBytes(graph, op, 1);
+        p.outputBytes = outputBytes(graph, op);
+        p.weightRows = macs_per_out;
+        p.weightCols = out.shape.dim(1); // out channels
+        p.weightCopies = 1;
+        break;
+      }
+      case OpKind::kDepthwiseConv2d: {
+        cmswitch_assert(op.inputs.size() >= 2, "dwconv needs input+weight");
+        const TensorDesc &w = graph.tensor(op.inputs[1]);
+        const TensorDesc &out = graph.tensor(op.outputs[0]);
+        s64 macs_per_out = op.conv.kernelH * op.conv.kernelW;
+        p.macs = out.shape.numElements() * macs_per_out;
+        p.weightBytes = w.bytes();
+        p.inputBytes = movingInputBytes(graph, op, 1);
+        p.outputBytes = outputBytes(graph, op);
+        // Each channel has an independent kh*kw column.
+        p.weightRows = macs_per_out;
+        p.weightCols = out.shape.dim(1);
+        p.weightCopies = 1;
+        break;
+      }
+      case OpKind::kMatMul:
+      case OpKind::kDynMatMul: {
+        cmswitch_assert(op.inputs.size() == 2,
+                        "matmul expects exactly two inputs: ", op.name);
+        const TensorDesc &a = graph.tensor(op.inputs[0]);
+        const TensorDesc &b = graph.tensor(op.inputs[1]);
+        const TensorDesc &out = graph.tensor(op.outputs[0]);
+        cmswitch_assert(b.shape.rank() >= 2, "stationary operand rank >= 2");
+        s64 shared = b.shape.dim(b.shape.rank() - 2);
+        s64 cols = b.shape.lastDim();
+        cmswitch_assert(a.shape.lastDim() == shared,
+                        "matmul dim mismatch in ", op.name, ": ",
+                        a.shape.toString(), " x ", b.shape.toString());
+        p.macs = out.shape.numElements() * shared;
+        p.weightBytes = b.bytes();
+        p.inputBytes = movingInputBytes(graph, op, 1);
+        p.outputBytes = outputBytes(graph, op);
+        p.weightRows = shared;
+        p.weightCols = cols;
+        s64 copies = 1;
+        for (s64 d = 0; d + 2 < b.shape.rank(); ++d)
+            copies *= b.shape.dim(d);
+        p.weightCopies = copies;
+        break;
+      }
+      case OpKind::kEmbedding: {
+        // A gather: traffic is the rows fetched, not the whole table.
+        p.outputBytes = outputBytes(graph, op);
+        p.inputBytes = p.outputBytes;
+        p.vectorElems = graph.tensor(op.outputs[0]).shape.numElements();
+        break;
+      }
+      default: {
+        // Function-unit operator: elementwise work over the output.
+        p.inputBytes = movingInputBytes(graph, op, -1);
+        p.outputBytes = outputBytes(graph, op);
+        p.vectorElems = graph.tensor(op.outputs[0]).shape.numElements();
+        break;
+      }
+    }
+    return p;
+}
+
+GraphProfile
+profileGraph(const Graph &graph)
+{
+    GraphProfile g;
+    for (const Operator &op : graph.ops()) {
+        OpProfile p = profileOp(graph, op.id);
+        g.totalMacs += p.macs;
+        g.totalTraffic += p.trafficBytes();
+        g.totalWeightBytes += p.weightBytes;
+        if (op.isCim())
+            ++g.cimOpCount;
+    }
+    return g;
+}
+
+double
+GraphProfile::aiFlopsPerByte() const
+{
+    if (totalTraffic <= 0)
+        return 0.0;
+    return 2.0 * static_cast<double>(totalMacs)
+               / static_cast<double>(totalTraffic);
+}
+
+double
+ClassProfile::aiFlopsPerByte() const
+{
+    if (traffic <= 0)
+        return 0.0;
+    return 2.0 * static_cast<double>(macs) / static_cast<double>(traffic);
+}
+
+std::vector<ClassProfile>
+profileByClass(const Graph &graph)
+{
+    std::map<OpClass, ClassProfile> acc;
+    for (const Operator &op : graph.ops()) {
+        OpProfile p = profileOp(graph, op.id);
+        ClassProfile &c = acc[op.cls];
+        c.cls = op.cls;
+        c.macs += p.macs;
+        c.traffic += p.trafficBytes();
+    }
+    std::vector<ClassProfile> out;
+    for (auto &[cls, prof] : acc)
+        out.push_back(prof);
+    return out;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload analysis over the graph IR: MAC counts, memory traffic and
+ * arithmetic intensity per operator and per network. These quantities
+ * feed the latency model (Eq. 10) and reproduce Figs. 5(c) and 6.
+ *
+ * Arithmetic intensity follows the paper's FLOPs-per-memory-operation
+ * definition: total traffic counts the operator's streamed inputs,
+ * outputs, and (runtime- or load-time-) streamed weight bytes.
+ */
+
+#ifndef CMSWITCH_GRAPH_ANALYSIS_HPP
+#define CMSWITCH_GRAPH_ANALYSIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cmswitch {
+
+/** Static workload profile of one operator. */
+struct OpProfile
+{
+    s64 macs = 0;        ///< multiply-accumulate count (0 for FU ops)
+    s64 weightBytes = 0; ///< stationary operand bytes (static or runtime)
+    s64 inputBytes = 0;  ///< moving input activation bytes
+    s64 outputBytes = 0; ///< produced bytes
+    s64 vectorElems = 0; ///< function-unit elementwise work
+
+    /** Logical weight matrix used by the mapper/tiler (CIM ops only). */
+    s64 weightRows = 0;   ///< reduction dimension
+    s64 weightCols = 0;   ///< output dimension
+    s64 weightCopies = 1; ///< independent matrices (e.g. one per head)
+
+    /** Total streamed bytes per execution of the operator. */
+    s64 trafficBytes() const { return weightBytes + inputBytes + outputBytes; }
+
+    /** MACs per streamed byte (used by Eq. 10). */
+    double aiMacsPerByte() const;
+
+    /** FLOPs (2x MACs) per streamed byte, the paper's plotted metric. */
+    double aiFlopsPerByte() const { return 2.0 * aiMacsPerByte(); }
+};
+
+/** Compute the profile of @p id in @p graph. panics on malformed shapes. */
+OpProfile profileOp(const Graph &graph, OpId id);
+
+/** Whole-network aggregate used for Fig. 5(c). */
+struct GraphProfile
+{
+    s64 totalMacs = 0;
+    s64 totalTraffic = 0;
+    s64 totalWeightBytes = 0;
+    s64 cimOpCount = 0;
+
+    double aiFlopsPerByte() const;
+};
+
+GraphProfile profileGraph(const Graph &graph);
+
+/** Per-class MAC/traffic breakdown (Fig. 6(b) series). */
+struct ClassProfile
+{
+    OpClass cls = OpClass::kOther;
+    s64 macs = 0;
+    s64 traffic = 0;
+
+    double aiFlopsPerByte() const;
+};
+
+std::vector<ClassProfile> profileByClass(const Graph &graph);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_ANALYSIS_HPP

@@ -1,0 +1,168 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+Graph::Graph(std::string name)
+    : name_(std::move(name))
+{
+}
+
+TensorId
+Graph::addTensor(const std::string &name, Shape shape, DType dtype,
+                 TensorKind kind)
+{
+    TensorId id = static_cast<TensorId>(tensors_.size());
+    tensors_.push_back(TensorDesc{name, std::move(shape), dtype, kind});
+    producer_.push_back(kInvalidOp);
+    consumers_.emplace_back();
+    return id;
+}
+
+OpId
+Graph::addOp(Operator op)
+{
+    OpId id = static_cast<OpId>(ops_.size());
+    op.id = id;
+    for (TensorId t : op.inputs) {
+        cmswitch_assert(t >= 0 && t < numTensors(),
+                        "op ", op.name, " references missing input tensor");
+        consumers_[static_cast<std::size_t>(t)].push_back(id);
+    }
+    for (TensorId t : op.outputs) {
+        cmswitch_assert(t >= 0 && t < numTensors(),
+                        "op ", op.name, " references missing output tensor");
+        cmswitch_assert(producer_[static_cast<std::size_t>(t)] == kInvalidOp,
+                        "tensor ", tensors_[static_cast<std::size_t>(t)].name,
+                        " has two producers");
+        producer_[static_cast<std::size_t>(t)] = id;
+    }
+    ops_.push_back(std::move(op));
+    return id;
+}
+
+const TensorDesc &
+Graph::tensor(TensorId id) const
+{
+    return tensors_.at(static_cast<std::size_t>(id));
+}
+
+TensorDesc &
+Graph::tensor(TensorId id)
+{
+    return tensors_.at(static_cast<std::size_t>(id));
+}
+
+const Operator &
+Graph::op(OpId id) const
+{
+    return ops_.at(static_cast<std::size_t>(id));
+}
+
+Operator &
+Graph::op(OpId id)
+{
+    return ops_.at(static_cast<std::size_t>(id));
+}
+
+std::optional<OpId>
+Graph::producerOf(TensorId id) const
+{
+    OpId p = producer_.at(static_cast<std::size_t>(id));
+    if (p == kInvalidOp)
+        return std::nullopt;
+    return p;
+}
+
+std::vector<OpId>
+Graph::consumersOf(TensorId id) const
+{
+    return consumers_.at(static_cast<std::size_t>(id));
+}
+
+bool
+Graph::directlyFeeds(OpId a, OpId b) const
+{
+    const Operator &src = op(a);
+    const Operator &dst = op(b);
+    for (TensorId out : src.outputs)
+        for (TensorId in : dst.inputs)
+            if (out == in)
+                return true;
+    return false;
+}
+
+std::vector<OpId>
+Graph::topoOrder() const
+{
+    std::vector<s64> indegree(ops_.size(), 0);
+    for (const Operator &o : ops_) {
+        for (TensorId t : o.inputs) {
+            if (producer_[static_cast<std::size_t>(t)] != kInvalidOp)
+                ++indegree[static_cast<std::size_t>(o.id)];
+        }
+    }
+
+    // Min-heap on op id keeps the order stable/deterministic.
+    std::priority_queue<OpId, std::vector<OpId>, std::greater<OpId>> ready;
+    for (const Operator &o : ops_) {
+        if (indegree[static_cast<std::size_t>(o.id)] == 0)
+            ready.push(o.id);
+    }
+
+    std::vector<OpId> order;
+    order.reserve(ops_.size());
+    while (!ready.empty()) {
+        OpId id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        for (TensorId out : op(id).outputs) {
+            for (OpId consumer : consumers_[static_cast<std::size_t>(out)]) {
+                if (--indegree[static_cast<std::size_t>(consumer)] == 0)
+                    ready.push(consumer);
+            }
+        }
+    }
+    cmswitch_assert(order.size() == ops_.size(),
+                    "graph ", name_, " contains a cycle");
+    return order;
+}
+
+std::vector<OpId>
+Graph::cimOps() const
+{
+    std::vector<OpId> out;
+    for (OpId id : topoOrder())
+        if (op(id).isCim())
+            out.push_back(id);
+    return out;
+}
+
+void
+Graph::validate() const
+{
+    for (const Operator &o : ops_) {
+        cmswitch_assert(!o.outputs.empty(), "op ", o.name, " has no outputs");
+        for (TensorId t : o.inputs)
+            cmswitch_assert(t >= 0 && t < numTensors(), "bad input id");
+        for (TensorId t : o.outputs)
+            cmswitch_assert(t >= 0 && t < numTensors(), "bad output id");
+    }
+    topoOrder(); // panics on cycles
+}
+
+s64
+Graph::totalWeightBytes() const
+{
+    s64 total = 0;
+    for (const TensorDesc &t : tensors_)
+        if (t.kind == TensorKind::kWeight)
+            total += t.bytes();
+    return total;
+}
+
+} // namespace cmswitch

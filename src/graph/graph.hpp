@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Computation-graph container: tensors + operators + dependency queries.
+ * Stands in for the ONNX graph the paper lowers networks into.
+ */
+
+#ifndef CMSWITCH_GRAPH_GRAPH_HPP
+#define CMSWITCH_GRAPH_GRAPH_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "graph/tensor.hpp"
+
+namespace cmswitch {
+
+/**
+ * A DAG of operators over tensors. Tensors have exactly one producer
+ * (or none, for graph inputs/weights) and any number of consumers.
+ */
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "graph");
+
+    const std::string &name() const { return name_; }
+
+    /** @{ Construction API (used by the model zoo and tests). */
+    TensorId addTensor(const std::string &name, Shape shape,
+                       DType dtype = DType::kInt8,
+                       TensorKind kind = TensorKind::kActivation);
+    OpId addOp(Operator op);
+    /** @} */
+
+    /** @{ Element access. */
+    const TensorDesc &tensor(TensorId id) const;
+    TensorDesc &tensor(TensorId id);
+    const Operator &op(OpId id) const;
+    Operator &op(OpId id);
+    s64 numTensors() const { return static_cast<s64>(tensors_.size()); }
+    s64 numOps() const { return static_cast<s64>(ops_.size()); }
+    const std::vector<Operator> &ops() const { return ops_; }
+    /** @} */
+
+    /** Producer of @p id, if any op outputs it. */
+    std::optional<OpId> producerOf(TensorId id) const;
+
+    /** All ops consuming @p id as input. */
+    std::vector<OpId> consumersOf(TensorId id) const;
+
+    /** True if some output of @p a feeds an input of @p b. */
+    bool directlyFeeds(OpId a, OpId b) const;
+
+    /**
+     * Operators in a topological order (stable: ties broken by insertion
+     * order, which matches network layer order for the model zoo).
+     * panics if the graph has a cycle.
+     */
+    std::vector<OpId> topoOrder() const;
+
+    /** Topologically ordered CIM-supportable operators only. */
+    std::vector<OpId> cimOps() const;
+
+    /**
+     * Checks structural invariants: tensor ids in range, every op output
+     * produced exactly once, acyclicity. panics on violation.
+     */
+    void validate() const;
+
+    /** Sum of all kWeight tensor bytes. */
+    s64 totalWeightBytes() const;
+
+  private:
+    std::string name_;
+    std::vector<TensorDesc> tensors_;
+    std::vector<Operator> ops_;
+    std::vector<OpId> producer_;               // per tensor
+    std::vector<std::vector<OpId>> consumers_; // per tensor
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_GRAPH_HPP

@@ -1,0 +1,58 @@
+#include "graph/op.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kConv2d: return "conv2d";
+      case OpKind::kDepthwiseConv2d: return "dwconv2d";
+      case OpKind::kMatMul: return "matmul";
+      case OpKind::kDynMatMul: return "dynmatmul";
+      case OpKind::kSoftmax: return "softmax";
+      case OpKind::kLayerNorm: return "layernorm";
+      case OpKind::kActivation: return "activation";
+      case OpKind::kElementwiseAdd: return "add";
+      case OpKind::kElementwiseMul: return "mul";
+      case OpKind::kPool: return "pool";
+      case OpKind::kEmbedding: return "embedding";
+      case OpKind::kReshape: return "reshape";
+      case OpKind::kConcat: return "concat";
+    }
+    cmswitch_panic("unknown op kind");
+}
+
+bool
+isCimKind(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDepthwiseConv2d:
+      case OpKind::kMatMul:
+      case OpKind::kDynMatMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::kOther: return "Other";
+      case OpClass::kMhaQkvProj: return "MHA(QKV)";
+      case OpClass::kMhaOutProj: return "MHA(FC)";
+      case OpClass::kAttnScore: return "AttnScore";
+      case OpClass::kAttnContext: return "AttnContext";
+      case OpClass::kFfn: return "FFN(FC)";
+      case OpClass::kConv: return "Conv";
+      case OpClass::kClassifier: return "Classifier";
+    }
+    cmswitch_panic("unknown op class");
+}
+
+} // namespace cmswitch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Operator definitions for the computation-graph IR.
+ *
+ * CIM-supportable operators (Conv2D / DepthwiseConv2D / MatMul /
+ * DynMatMul) can be lowered to matrix-vector products on CIM arrays;
+ * everything else runs on the chip's vector function unit and rides
+ * along with the preceding CIM operator during scheduling.
+ */
+
+#ifndef CMSWITCH_GRAPH_OP_HPP
+#define CMSWITCH_GRAPH_OP_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/tensor.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+using OpId = s32;
+constexpr OpId kInvalidOp = -1;
+
+/** Operator kinds recognised by the compiler and simulators. */
+enum class OpKind {
+    // CIM-supportable (mapped to arrays).
+    kConv2d,          ///< standard convolution (im2col-unrolled to MMM)
+    kDepthwiseConv2d, ///< per-channel convolution
+    kMatMul,          ///< activation x static weight (FC / projections)
+    kDynMatMul,       ///< activation x activation (QK^T, S*V); the
+                      ///< stationary operand is written at runtime
+    // Function-unit operators.
+    kSoftmax,
+    kLayerNorm,
+    kActivation,      ///< ReLU / GeLU / SiLU... (attr activationName)
+    kElementwiseAdd,
+    kElementwiseMul,
+    kPool,            ///< max/avg pooling (attr kernel/stride)
+    kEmbedding,       ///< token embedding lookup
+    kReshape,         ///< metadata-only data movement
+    kConcat,
+};
+
+const char *opKindName(OpKind kind);
+
+/** True if @p kind executes on CIM arrays (is "CIM-supportable"). */
+bool isCimKind(OpKind kind);
+
+/**
+ * Workload-role tags used by the arithmetic-intensity breakdowns of
+ * Fig. 6(b) and the allocation demonstrations of Fig. 15.
+ */
+enum class OpClass {
+    kOther,
+    kMhaQkvProj,  ///< Q/K/V generation projections
+    kMhaOutProj,  ///< attention output projection ("MHA (FC)")
+    kAttnScore,   ///< Q x K^T
+    kAttnContext, ///< softmax(S) x V
+    kFfn,         ///< feed-forward fully-connected layers
+    kConv,        ///< convolution layers
+    kClassifier,  ///< final FC classifier
+};
+
+const char *opClassName(OpClass cls);
+
+/** Convolution / pooling attributes (unused fields stay at defaults). */
+struct ConvAttrs
+{
+    s64 kernelH = 1;
+    s64 kernelW = 1;
+    s64 strideH = 1;
+    s64 strideW = 1;
+    s64 padH = 0;
+    s64 padW = 0;
+    s64 groups = 1;
+};
+
+/**
+ * One node of the computation graph. Inputs/outputs are tensor ids into
+ * the owning Graph. For kMatMul, inputs = {activation, weight}; for
+ * kDynMatMul, inputs = {moving operand, stationary operand}.
+ */
+struct Operator
+{
+    OpId id = kInvalidOp;
+    std::string name;
+    OpKind kind = OpKind::kMatMul;
+    OpClass cls = OpClass::kOther;
+    std::vector<TensorId> inputs;
+    std::vector<TensorId> outputs;
+    ConvAttrs conv;
+    std::string activationName; ///< for kActivation
+
+    bool isCim() const { return isCimKind(kind); }
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_OP_HPP

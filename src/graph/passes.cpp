@@ -1,0 +1,163 @@
+#include "graph/passes.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Rebuild @p graph keeping only ops whose id satisfies @p keep_op;
+ *  unreferenced tensors are dropped. Returns removal stats. */
+PassStats
+rebuildGraph(Graph *graph, const std::vector<bool> &keep_op)
+{
+    const Graph &old = *graph;
+    std::vector<bool> tensor_used(static_cast<std::size_t>(old.numTensors()),
+                                  false);
+    for (const Operator &op : old.ops()) {
+        if (!keep_op[static_cast<std::size_t>(op.id)])
+            continue;
+        for (TensorId t : op.inputs)
+            tensor_used[static_cast<std::size_t>(t)] = true;
+        for (TensorId t : op.outputs)
+            tensor_used[static_cast<std::size_t>(t)] = true;
+    }
+    // Network outputs survive even when produced by removed ops; graph
+    // inputs survive if referenced.
+    for (TensorId t = 0; t < old.numTensors(); ++t) {
+        if (old.tensor(t).kind == TensorKind::kOutput)
+            tensor_used[static_cast<std::size_t>(t)] = true;
+    }
+
+    Graph rebuilt(old.name());
+    std::vector<TensorId> remap(static_cast<std::size_t>(old.numTensors()),
+                                kInvalidTensor);
+    s64 removed_tensors = 0;
+    for (TensorId t = 0; t < old.numTensors(); ++t) {
+        if (!tensor_used[static_cast<std::size_t>(t)]) {
+            ++removed_tensors;
+            continue;
+        }
+        const TensorDesc &d = old.tensor(t);
+        remap[static_cast<std::size_t>(t)] =
+            rebuilt.addTensor(d.name, d.shape, d.dtype, d.kind);
+    }
+    s64 removed_ops = 0;
+    for (const Operator &op : old.ops()) {
+        if (!keep_op[static_cast<std::size_t>(op.id)]) {
+            ++removed_ops;
+            continue;
+        }
+        Operator copy = op;
+        copy.id = kInvalidOp;
+        for (TensorId &t : copy.inputs)
+            t = remap[static_cast<std::size_t>(t)];
+        for (TensorId &t : copy.outputs)
+            t = remap[static_cast<std::size_t>(t)];
+        rebuilt.addOp(std::move(copy));
+    }
+    *graph = std::move(rebuilt);
+    return PassStats{removed_ops, removed_tensors};
+}
+
+} // namespace
+
+PassStats
+eliminateDeadOps(Graph *graph)
+{
+    const Graph &g = *graph;
+    // Mark live ops backwards from network outputs.
+    std::vector<bool> live(static_cast<std::size_t>(g.numOps()), false);
+    std::vector<OpId> stack;
+    for (TensorId t = 0; t < g.numTensors(); ++t) {
+        if (g.tensor(t).kind != TensorKind::kOutput)
+            continue;
+        if (auto producer = g.producerOf(t))
+            stack.push_back(*producer);
+    }
+    while (!stack.empty()) {
+        OpId id = stack.back();
+        stack.pop_back();
+        if (live[static_cast<std::size_t>(id)])
+            continue;
+        live[static_cast<std::size_t>(id)] = true;
+        for (TensorId t : g.op(id).inputs) {
+            if (auto producer = g.producerOf(t))
+                stack.push_back(*producer);
+        }
+    }
+    // Graphs without any kOutput tensor keep everything (common for
+    // ad-hoc test graphs); treat them as all-live.
+    if (std::none_of(live.begin(), live.end(), [](bool b) { return b; }))
+        return PassStats{};
+    return rebuildGraph(graph, live);
+}
+
+PassStats
+foldReshapeChains(Graph *graph)
+{
+    const Graph &g = *graph;
+
+    // source[t]: the tensor a reshape chain rooted at t ultimately
+    // reads from (t itself when no upstream reshape exists).
+    std::vector<TensorId> source(static_cast<std::size_t>(g.numTensors()));
+    for (TensorId t = 0; t < g.numTensors(); ++t)
+        source[static_cast<std::size_t>(t)] = t;
+
+    // Collect per-reshape input rewires in topological order, so a
+    // chain r1 -> r2 -> r3 collapses onto r1's source transitively.
+    std::vector<TensorId> rewired_input(
+        static_cast<std::size_t>(g.numOps()), kInvalidTensor);
+    bool changed = false;
+    for (OpId id : g.topoOrder()) {
+        const Operator &op = g.op(id);
+        if (op.kind != OpKind::kReshape)
+            continue;
+        TensorId in = op.inputs[0];
+        auto producer = g.producerOf(in);
+        if (producer && g.op(*producer).kind == OpKind::kReshape) {
+            TensorId src =
+                source[static_cast<std::size_t>(g.op(*producer).inputs[0])];
+            rewired_input[static_cast<std::size_t>(id)] = src;
+            source[static_cast<std::size_t>(op.outputs[0])] = src;
+            changed = true;
+        } else {
+            source[static_cast<std::size_t>(op.outputs[0])] =
+                source[static_cast<std::size_t>(in)];
+        }
+    }
+    if (!changed)
+        return PassStats{};
+
+    // Rebuild with the rewires applied; bypassed reshapes become dead.
+    Graph rebuilt(g.name());
+    for (TensorId t = 0; t < g.numTensors(); ++t) {
+        const TensorDesc &d = g.tensor(t);
+        rebuilt.addTensor(d.name, d.shape, d.dtype, d.kind);
+    }
+    for (const Operator &op : g.ops()) {
+        Operator copy = op;
+        copy.id = kInvalidOp;
+        TensorId rw = rewired_input[static_cast<std::size_t>(op.id)];
+        if (rw != kInvalidTensor)
+            copy.inputs[0] = rw;
+        rebuilt.addOp(std::move(copy));
+    }
+    *graph = std::move(rebuilt);
+    return eliminateDeadOps(graph);
+}
+
+PassStats
+runFrontendPasses(Graph *graph)
+{
+    PassStats total = foldReshapeChains(graph);
+    PassStats dead = eliminateDeadOps(graph);
+    total.removedOps += dead.removedOps;
+    total.removedTensors += dead.removedTensors;
+    graph->validate();
+    return total;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graph optimization passes run by the compiler frontend before
+ * flattening (the "Preprocess" stage of paper Fig. 7): dead-operator
+ * elimination and reshape-chain folding. Passes rebuild the graph
+ * rather than mutate it, so ids stay dense.
+ */
+
+#ifndef CMSWITCH_GRAPH_PASSES_HPP
+#define CMSWITCH_GRAPH_PASSES_HPP
+
+#include "graph/graph.hpp"
+
+namespace cmswitch {
+
+/** Statistics returned by a pass run. */
+struct PassStats
+{
+    s64 removedOps = 0;
+    s64 removedTensors = 0;
+};
+
+/**
+ * Remove operators whose outputs reach no network output (dead code
+ * from model surgery). Tensors of kind kOutput are the roots.
+ */
+PassStats eliminateDeadOps(Graph *graph);
+
+/**
+ * Collapse chains of consecutive kReshape operators into a single
+ * reshape (a -> r1 -> r2 -> b becomes a -> r -> b).
+ */
+PassStats foldReshapeChains(Graph *graph);
+
+/** Run the standard pre-flattening pipeline; returns combined stats. */
+PassStats runFrontendPasses(Graph *graph);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_PASSES_HPP

@@ -1,0 +1,217 @@
+#include "graph/serialize.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+std::string
+shapeToText(const Shape &shape)
+{
+    std::string out;
+    for (s64 i = 0; i < shape.rank(); ++i) {
+        if (i > 0)
+            out += 'x';
+        out += std::to_string(shape.dim(i));
+    }
+    return out.empty() ? "scalar" : out;
+}
+
+Shape
+shapeFromText(const std::string &text)
+{
+    if (text == "scalar")
+        return Shape{};
+    std::vector<s64> dims;
+    for (const std::string &part : split(text, 'x'))
+        dims.push_back(std::stoll(part));
+    return Shape(std::move(dims));
+}
+
+DType
+dtypeFromText(const std::string &text)
+{
+    if (text == "int8")
+        return DType::kInt8;
+    if (text == "int32")
+        return DType::kInt32;
+    if (text == "float32")
+        return DType::kFloat32;
+    cmswitch_fatal("unknown dtype '", text, "'");
+}
+
+TensorKind
+kindFromText(const std::string &text)
+{
+    if (text == "input")
+        return TensorKind::kInput;
+    if (text == "weight")
+        return TensorKind::kWeight;
+    if (text == "activation")
+        return TensorKind::kActivation;
+    if (text == "output")
+        return TensorKind::kOutput;
+    if (text == "kvcache")
+        return TensorKind::kKvCache;
+    cmswitch_fatal("unknown tensor kind '", text, "'");
+}
+
+OpKind
+opKindFromText(const std::string &text)
+{
+    static const std::pair<const char *, OpKind> table[] = {
+        {"conv2d", OpKind::kConv2d},
+        {"dwconv2d", OpKind::kDepthwiseConv2d},
+        {"matmul", OpKind::kMatMul},
+        {"dynmatmul", OpKind::kDynMatMul},
+        {"softmax", OpKind::kSoftmax},
+        {"layernorm", OpKind::kLayerNorm},
+        {"activation", OpKind::kActivation},
+        {"add", OpKind::kElementwiseAdd},
+        {"mul", OpKind::kElementwiseMul},
+        {"pool", OpKind::kPool},
+        {"embedding", OpKind::kEmbedding},
+        {"reshape", OpKind::kReshape},
+        {"concat", OpKind::kConcat},
+    };
+    for (const auto &[name, kind] : table)
+        if (text == name)
+            return kind;
+    cmswitch_fatal("unknown op kind '", text, "'");
+}
+
+OpClass
+opClassFromText(const std::string &text)
+{
+    static const std::pair<const char *, OpClass> table[] = {
+        {"Other", OpClass::kOther},
+        {"MHA(QKV)", OpClass::kMhaQkvProj},
+        {"MHA(FC)", OpClass::kMhaOutProj},
+        {"AttnScore", OpClass::kAttnScore},
+        {"AttnContext", OpClass::kAttnContext},
+        {"FFN(FC)", OpClass::kFfn},
+        {"Conv", OpClass::kConv},
+        {"Classifier", OpClass::kClassifier},
+    };
+    for (const auto &[name, cls] : table)
+        if (text == name)
+            return cls;
+    cmswitch_fatal("unknown op class '", text, "'");
+}
+
+std::string
+idList(const std::vector<TensorId> &ids)
+{
+    std::vector<std::string> parts;
+    parts.reserve(ids.size());
+    for (TensorId id : ids)
+        parts.push_back(std::to_string(id));
+    return parts.empty() ? "-" : join(parts, ",");
+}
+
+std::vector<TensorId>
+idListFromText(const std::string &text)
+{
+    std::vector<TensorId> out;
+    if (text == "-")
+        return out;
+    for (const std::string &part : split(text, ','))
+        out.push_back(static_cast<TensorId>(std::stol(part)));
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeGraph(const Graph &graph)
+{
+    std::ostringstream oss;
+    oss << "graph " << graph.name() << '\n';
+    for (TensorId t = 0; t < graph.numTensors(); ++t) {
+        const TensorDesc &desc = graph.tensor(t);
+        oss << "tensor " << t << ' ' << desc.name << ' '
+            << tensorKindName(desc.kind) << ' ' << dtypeName(desc.dtype)
+            << ' ' << shapeToText(desc.shape) << '\n';
+    }
+    for (const Operator &op : graph.ops()) {
+        oss << "op " << op.id << ' ' << op.name << ' ' << opKindName(op.kind)
+            << ' ' << opClassName(op.cls) << " in=" << idList(op.inputs)
+            << " out=" << idList(op.outputs)
+            << " conv=" << op.conv.kernelH << ',' << op.conv.kernelW << ','
+            << op.conv.strideH << ',' << op.conv.strideW << ','
+            << op.conv.padH << ',' << op.conv.padW << ',' << op.conv.groups
+            << " act=" << (op.activationName.empty() ? "-" : op.activationName)
+            << '\n';
+    }
+    return oss.str();
+}
+
+Graph
+parseGraph(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string line;
+    Graph graph("parsed");
+    bool have_header = false;
+
+    while (std::getline(iss, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "graph") {
+            std::string name;
+            ls >> name;
+            graph = Graph(name);
+            have_header = true;
+        } else if (tag == "tensor") {
+            s64 id;
+            std::string name, kind, dtype, shape;
+            ls >> id >> name >> kind >> dtype >> shape;
+            TensorId got = graph.addTensor(name, shapeFromText(shape),
+                                           dtypeFromText(dtype),
+                                           kindFromText(kind));
+            cmswitch_fatal_if(got != id, "tensor ids must be dense");
+        } else if (tag == "op") {
+            s64 id;
+            std::string name, kind, cls, in, out, conv, act;
+            ls >> id >> name >> kind >> cls >> in >> out >> conv >> act;
+            Operator op;
+            op.name = name;
+            op.kind = opKindFromText(kind);
+            op.cls = opClassFromText(cls);
+            cmswitch_fatal_if(!startsWith(in, "in="), "expected in= field");
+            cmswitch_fatal_if(!startsWith(out, "out="), "expected out= field");
+            cmswitch_fatal_if(!startsWith(conv, "conv="), "expected conv=");
+            cmswitch_fatal_if(!startsWith(act, "act="), "expected act=");
+            op.inputs = idListFromText(in.substr(3));
+            op.outputs = idListFromText(out.substr(4));
+            auto conv_fields = split(conv.substr(5), ',');
+            cmswitch_fatal_if(conv_fields.size() != 7, "conv= needs 7 fields");
+            op.conv.kernelH = std::stoll(conv_fields[0]);
+            op.conv.kernelW = std::stoll(conv_fields[1]);
+            op.conv.strideH = std::stoll(conv_fields[2]);
+            op.conv.strideW = std::stoll(conv_fields[3]);
+            op.conv.padH = std::stoll(conv_fields[4]);
+            op.conv.padW = std::stoll(conv_fields[5]);
+            op.conv.groups = std::stoll(conv_fields[6]);
+            std::string act_name = act.substr(4);
+            if (act_name != "-")
+                op.activationName = act_name;
+            OpId got = graph.addOp(std::move(op));
+            cmswitch_fatal_if(got != id, "op ids must be dense");
+        } else {
+            cmswitch_fatal("unknown line tag '", tag, "'");
+        }
+    }
+    cmswitch_fatal_if(!have_header, "missing 'graph' header line");
+    return graph;
+}
+
+} // namespace cmswitch

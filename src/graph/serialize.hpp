@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Line-oriented textual (de)serialisation of graphs. This is the repo's
+ * stand-in for the ONNX interchange step of the paper's frontend: models
+ * can be dumped, inspected, diffed, and re-imported losslessly.
+ */
+
+#ifndef CMSWITCH_GRAPH_SERIALIZE_HPP
+#define CMSWITCH_GRAPH_SERIALIZE_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace cmswitch {
+
+/** Serialise @p graph to the textual exchange format. */
+std::string serializeGraph(const Graph &graph);
+
+/** Parse a graph back from text produced by serializeGraph(). fatals on
+ *  malformed input (user error, not an internal bug). */
+Graph parseGraph(const std::string &text);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_SERIALIZE_HPP

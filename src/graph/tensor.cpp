@@ -1,0 +1,84 @@
+#include "graph/tensor.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+s64
+dtypeSize(DType dtype)
+{
+    switch (dtype) {
+      case DType::kInt8: return 1;
+      case DType::kInt32: return 4;
+      case DType::kFloat32: return 4;
+    }
+    cmswitch_panic("unknown dtype");
+}
+
+const char *
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::kInt8: return "int8";
+      case DType::kInt32: return "int32";
+      case DType::kFloat32: return "float32";
+    }
+    cmswitch_panic("unknown dtype");
+}
+
+const char *
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::kInput: return "input";
+      case TensorKind::kWeight: return "weight";
+      case TensorKind::kActivation: return "activation";
+      case TensorKind::kOutput: return "output";
+      case TensorKind::kKvCache: return "kvcache";
+    }
+    cmswitch_panic("unknown tensor kind");
+}
+
+s64
+Shape::numElements() const
+{
+    s64 n = 1;
+    for (s64 d : dims_)
+        n *= d;
+    return n;
+}
+
+s64
+Shape::leadingElements() const
+{
+    if (dims_.empty())
+        return 1;
+    s64 n = 1;
+    for (std::size_t i = 0; i + 1 < dims_.size(); ++i)
+        n *= dims_[i];
+    return n;
+}
+
+s64
+Shape::lastDim() const
+{
+    return dims_.empty() ? 1 : dims_.back();
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0)
+            oss << 'x';
+        oss << dims_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+} // namespace cmswitch

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tensor descriptors for the computation-graph IR. Only metadata lives
+ * here (name/shape/dtype/kind); actual values are owned by the
+ * functional simulator.
+ */
+
+#ifndef CMSWITCH_GRAPH_TENSOR_HPP
+#define CMSWITCH_GRAPH_TENSOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Element types supported by the IR; the chip computes in int8/int32. */
+enum class DType { kInt8, kInt32, kFloat32 };
+
+/** Bytes per element of @p dtype. */
+s64 dtypeSize(DType dtype);
+
+/** Printable name ("int8", ...). */
+const char *dtypeName(DType dtype);
+
+/** Role a tensor plays in the graph; drives traffic accounting. */
+enum class TensorKind {
+    kInput,      ///< network input (streamed from main memory)
+    kWeight,     ///< static parameter (pre-determined, mappable to arrays)
+    kActivation, ///< intermediate produced/consumed on-chip when possible
+    kOutput,     ///< network output (must be written back)
+    kKvCache,    ///< persistent decode-time key/value cache entry
+};
+
+const char *tensorKindName(TensorKind kind);
+
+/** Dense row-major shape. An empty shape denotes a scalar. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<s64> dims) : dims_(dims) {}
+    explicit Shape(std::vector<s64> dims) : dims_(std::move(dims)) {}
+
+    s64 rank() const { return static_cast<s64>(dims_.size()); }
+    s64 dim(s64 i) const { return dims_.at(static_cast<std::size_t>(i)); }
+    const std::vector<s64> &dims() const { return dims_; }
+
+    /** Product of all dims (1 for scalars). */
+    s64 numElements() const;
+
+    /** Product of all dims except the last (the "row count" of a matmul). */
+    s64 leadingElements() const;
+
+    /** Last dimension, or 1 for scalars. */
+    s64 lastDim() const;
+
+    std::string toString() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+
+  private:
+    std::vector<s64> dims_;
+};
+
+using TensorId = s32;
+constexpr TensorId kInvalidTensor = -1;
+
+/** Metadata record for one tensor in a Graph. */
+struct TensorDesc
+{
+    std::string name;
+    Shape shape;
+    DType dtype = DType::kInt8;
+    TensorKind kind = TensorKind::kActivation;
+
+    /** Total size in bytes. */
+    s64 bytes() const { return shape.numElements() * dtypeSize(dtype); }
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_GRAPH_TENSOR_HPP

@@ -1,0 +1,87 @@
+#include "metaop/meta_op.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+const char *
+metaOpKindName(MetaOpKind kind)
+{
+    switch (kind) {
+      case MetaOpKind::kSwitch: return "CM.switch";
+      case MetaOpKind::kLoadWeight: return "MEM.load_weight";
+      case MetaOpKind::kLoad: return "MEM.load";
+      case MetaOpKind::kStore: return "MEM.store";
+      case MetaOpKind::kCompute: return "CIM.compute";
+      case MetaOpKind::kFuCompute: return "FU.compute";
+    }
+    cmswitch_panic("unknown meta-op kind");
+}
+
+MetaOp
+MetaOp::makeSwitch(ArrayMode to, s64 addr, s64 count)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kSwitch;
+    op.switchTo = to;
+    op.arrayAddr = addr;
+    op.arrayCount = count;
+    return op;
+}
+
+MetaOp
+MetaOp::makeLoadWeight(const std::string &target, s64 bytes, s64 arrays,
+                       OpId graph_op)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kLoadWeight;
+    op.target = target;
+    op.bytes = bytes;
+    op.arrayCount = arrays;
+    op.graphOp = graph_op;
+    return op;
+}
+
+MetaOp
+MetaOp::makeLoad(const std::string &target, s64 bytes)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kLoad;
+    op.target = target;
+    op.bytes = bytes;
+    return op;
+}
+
+MetaOp
+MetaOp::makeStore(const std::string &target, s64 bytes)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kStore;
+    op.target = target;
+    op.bytes = bytes;
+    return op;
+}
+
+MetaOp
+MetaOp::makeCompute(const OpWorkload &work, const OpAllocation &alloc)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kCompute;
+    op.target = work.name;
+    op.graphOp = work.opId;
+    op.work = work;
+    op.alloc = alloc;
+    return op;
+}
+
+MetaOp
+MetaOp::makeFuCompute(const std::string &target, s64 elems)
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kFuCompute;
+    op.target = target;
+    op.work.vectorElems = elems;
+    return op;
+}
+
+} // namespace cmswitch

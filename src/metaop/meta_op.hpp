@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dual-mode meta-operator IR (paper Sec. 4.4, Fig. 13). The compiler
+ * expresses its result as a flow of meta-operators rather than machine
+ * code so it can be retargeted to any dual-mode CIM backend. The
+ * CM.switch operator carries the TOM/TOC mode transitions; compute
+ * meta-operators carry their workload/allocation payload so the timing
+ * simulator can price the program without consulting the compiler.
+ */
+
+#ifndef CMSWITCH_METAOP_META_OP_HPP
+#define CMSWITCH_METAOP_META_OP_HPP
+
+#include <string>
+
+#include "arch/chip_config.hpp"
+#include "cost/cost_model.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Kinds of meta-operators in the generated flow. */
+enum class MetaOpKind {
+    kSwitch,     ///< CM.switch(TOM/TOC, addr, n): change array modes
+    kLoadWeight, ///< MEM.load_weight: program static weights into arrays
+    kLoad,       ///< MEM.load: main memory -> on-chip buffer/arrays
+    kStore,      ///< MEM.store: on-chip -> main memory (write-back)
+    kCompute,    ///< CIM.compute: run one mapped operator
+    kFuCompute,  ///< FU.compute: vector function-unit work
+};
+
+const char *metaOpKindName(MetaOpKind kind);
+
+/** One meta-operator. Fields are used per-kind; unused stay defaulted. */
+struct MetaOp
+{
+    MetaOpKind kind = MetaOpKind::kCompute;
+    std::string target;   ///< operator or tensor this acts on
+
+    /** @{ kSwitch payload. */
+    ArrayMode switchTo = ArrayMode::kCompute; ///< TOC or TOM
+    s64 arrayAddr = 0;    ///< first array address affected
+    s64 arrayCount = 0;   ///< arrays switched / loaded
+    /** @} */
+
+    /** @{ kLoad / kStore / kLoadWeight payload. */
+    s64 bytes = 0;
+    /** @} */
+
+    /** @{ kCompute / kFuCompute payload. */
+    OpId graphOp = kInvalidOp; ///< originating graph operator
+    OpWorkload work;
+    OpAllocation alloc;
+    /** @} */
+
+    /** @{ Factories. */
+    static MetaOp makeSwitch(ArrayMode to, s64 addr, s64 count);
+    static MetaOp makeLoadWeight(const std::string &target, s64 bytes,
+                                 s64 arrays, OpId graph_op = kInvalidOp);
+    static MetaOp makeLoad(const std::string &target, s64 bytes);
+    static MetaOp makeStore(const std::string &target, s64 bytes);
+    static MetaOp makeCompute(const OpWorkload &work,
+                              const OpAllocation &alloc);
+    static MetaOp makeFuCompute(const std::string &target, s64 elems);
+    /** @} */
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_METAOP_META_OP_HPP

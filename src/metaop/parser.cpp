@@ -1,0 +1,216 @@
+#include "metaop/parser.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Split "NAME(arg0, k1=v1, k2=v2)" into head, positional arg, kv map. */
+struct CallSyntax
+{
+    std::string head;
+    std::string positional;
+    std::map<std::string, std::string> kv;
+};
+
+CallSyntax
+parseCall(const std::string &line)
+{
+    CallSyntax out;
+    std::size_t open = line.find('(');
+    std::size_t close = line.rfind(')');
+    cmswitch_fatal_if(open == std::string::npos || close == std::string::npos
+                          || close < open,
+                      "malformed meta-op line: ", line);
+    out.head = trim(line.substr(0, open));
+    std::string args = line.substr(open + 1, close - open - 1);
+    bool first = true;
+    for (const std::string &raw : split(args, ',')) {
+        std::string part = trim(raw);
+        if (part.empty())
+            continue;
+        std::size_t eq = part.find('=');
+        if (eq == std::string::npos) {
+            cmswitch_fatal_if(!first, "unexpected positional arg: ", part);
+            out.positional = part;
+        } else {
+            out.kv[trim(part.substr(0, eq))] = trim(part.substr(eq + 1));
+        }
+        first = false;
+    }
+    return out;
+}
+
+s64
+kvInt(const CallSyntax &call, const std::string &key)
+{
+    auto it = call.kv.find(key);
+    cmswitch_fatal_if(it == call.kv.end(), "missing field '", key, "'");
+    return std::stoll(it->second);
+}
+
+double
+kvDouble(const CallSyntax &call, const std::string &key)
+{
+    auto it = call.kv.find(key);
+    cmswitch_fatal_if(it == call.kv.end(), "missing field '", key, "'");
+    return std::stod(it->second);
+}
+
+OpKind
+opKindFromToken(const std::string &token)
+{
+    static const std::pair<const char *, OpKind> table[] = {
+        {"conv2d", OpKind::kConv2d},
+        {"dwconv2d", OpKind::kDepthwiseConv2d},
+        {"matmul", OpKind::kMatMul},
+        {"dynmatmul", OpKind::kDynMatMul},
+    };
+    for (const auto &[name, kind] : table)
+        if (token == name)
+            return kind;
+    cmswitch_fatal("unknown CIM op kind '", token, "'");
+}
+
+} // namespace
+
+MetaOp
+parseMetaOp(const std::string &line)
+{
+    CallSyntax call = parseCall(line);
+    MetaOp op;
+    if (call.head == "CM.switch") {
+        op.kind = MetaOpKind::kSwitch;
+        cmswitch_fatal_if(call.positional != "TOM" && call.positional != "TOC",
+                          "CM.switch type must be TOM or TOC");
+        op.switchTo = call.positional == "TOM" ? ArrayMode::kMemory
+                                               : ArrayMode::kCompute;
+        op.arrayAddr = kvInt(call, "addr");
+        op.arrayCount = kvInt(call, "n");
+    } else if (call.head == "MEM.load_weight") {
+        op.kind = MetaOpKind::kLoadWeight;
+        op.target = call.positional;
+        op.bytes = kvInt(call, "bytes");
+        op.arrayCount = kvInt(call, "arrays");
+        op.graphOp = static_cast<OpId>(kvInt(call, "gop"));
+    } else if (call.head == "MEM.load") {
+        op.kind = MetaOpKind::kLoad;
+        op.target = call.positional;
+        op.bytes = kvInt(call, "bytes");
+    } else if (call.head == "MEM.store") {
+        op.kind = MetaOpKind::kStore;
+        op.target = call.positional;
+        op.bytes = kvInt(call, "bytes");
+    } else if (call.head == "CIM.compute") {
+        op.kind = MetaOpKind::kCompute;
+        op.target = call.positional;
+        op.work.name = call.positional;
+        op.work.kind = opKindFromToken(call.kv.at("kind"));
+        op.graphOp = static_cast<OpId>(kvInt(call, "gop"));
+        op.work.opId = op.graphOp;
+        op.work.macs = kvInt(call, "macs");
+        op.work.weightBytes = kvInt(call, "wbytes");
+        op.work.inputBytes = kvInt(call, "ibytes");
+        op.work.outputBytes = kvInt(call, "obytes");
+        op.work.vectorElems = kvInt(call, "velems");
+        op.work.weightTiles = kvInt(call, "tiles");
+        op.work.utilization = kvDouble(call, "util");
+        op.work.movingRows = kvInt(call, "rows");
+        op.work.dynamicWeights = kvInt(call, "dyn") != 0;
+        op.work.aiMacsPerByte = kvDouble(call, "ai");
+        op.alloc.computeArrays = kvInt(call, "com");
+        op.alloc.memInArrays = kvInt(call, "min");
+        op.alloc.memOutArrays = kvInt(call, "mout");
+    } else if (call.head == "FU.compute") {
+        op.kind = MetaOpKind::kFuCompute;
+        op.target = call.positional;
+        op.work.vectorElems = kvInt(call, "elems");
+    } else {
+        cmswitch_fatal("unknown meta-op '", call.head, "'");
+    }
+    return op;
+}
+
+MetaProgram
+parseProgram(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string line;
+
+    MetaProgram program;
+    SegmentRecord current;
+    bool in_segment = false;
+    bool in_parallel = false;
+    bool saw_parallel = false;
+
+    auto flush_segment = [&]() {
+        if (in_segment) {
+            program.addSegment(current);
+            current = SegmentRecord{};
+            saw_parallel = false;
+        }
+    };
+
+    while (std::getline(iss, line)) {
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        if (startsWith(t, "program ")) {
+            auto parts = split(t, ' ');
+            cmswitch_fatal_if(parts.size() < 4 || parts[2] != "@",
+                              "malformed program header");
+            program = MetaProgram(parts[1], parts[3]);
+        } else if (startsWith(t, "segment ")) {
+            flush_segment();
+            in_segment = true;
+            std::istringstream ls(t);
+            std::string tag, field;
+            s64 index;
+            ls >> tag >> index;
+            while (ls >> field) {
+                auto kv = split(field, '=');
+                cmswitch_fatal_if(kv.size() != 2, "bad segment field ", field);
+                if (kv[0] == "compute")
+                    current.plan.computeArrays = std::stoll(kv[1]);
+                else if (kv[0] == "memory")
+                    current.plan.memoryArrays = std::stoll(kv[1]);
+                else if (kv[0] == "reuse")
+                    current.reusedArrays = std::stoll(kv[1]);
+                else if (kv[0] == "pipelined")
+                    current.pipelinedBody = std::stoll(kv[1]) != 0;
+                else if (kv[0] == "intra")
+                    current.plannedIntra = std::stoll(kv[1]);
+                else if (kv[0] == "inter")
+                    current.plannedInter = std::stoll(kv[1]);
+                else
+                    cmswitch_fatal("unknown segment field ", kv[0]);
+            }
+        } else if (t == "parallel {") {
+            cmswitch_fatal_if(!in_segment, "parallel outside segment");
+            in_parallel = true;
+            saw_parallel = true;
+        } else if (t == "}") {
+            cmswitch_fatal_if(!in_parallel, "unmatched }");
+            in_parallel = false;
+        } else {
+            cmswitch_fatal_if(!in_segment, "meta-op outside segment");
+            MetaOp op = parseMetaOp(t);
+            if (in_parallel)
+                current.body.push_back(std::move(op));
+            else if (!saw_parallel)
+                current.prologue.push_back(std::move(op));
+            else
+                current.epilogue.push_back(std::move(op));
+        }
+    }
+    cmswitch_fatal_if(in_parallel, "unterminated parallel block");
+    flush_segment();
+    return program;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Parser for the textual meta-operator format emitted by the printer.
+ * Lets users inspect, edit and re-ingest compiled programs, and gives
+ * the tests a round-trip property to certify.
+ */
+
+#ifndef CMSWITCH_METAOP_PARSER_HPP
+#define CMSWITCH_METAOP_PARSER_HPP
+
+#include <string>
+
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Parse one meta-op line (as produced by printMetaOp). fatals on
+ *  malformed text. */
+MetaOp parseMetaOp(const std::string &line);
+
+/** Parse a full program (as produced by printProgram). */
+MetaProgram parseProgram(const std::string &text);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_METAOP_PARSER_HPP

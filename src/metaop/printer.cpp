@@ -1,0 +1,89 @@
+#include "metaop/printer.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+const char *
+opKindToken(OpKind kind)
+{
+    return opKindName(kind);
+}
+
+} // namespace
+
+std::string
+printMetaOp(const MetaOp &op)
+{
+    std::ostringstream oss;
+    switch (op.kind) {
+      case MetaOpKind::kSwitch:
+        oss << "CM.switch(" << (op.switchTo == ArrayMode::kMemory ? "TOM"
+                                                                  : "TOC")
+            << ", addr=" << op.arrayAddr << ", n=" << op.arrayCount << ")";
+        break;
+      case MetaOpKind::kLoadWeight:
+        oss << "MEM.load_weight(" << op.target << ", bytes=" << op.bytes
+            << ", arrays=" << op.arrayCount << ", gop=" << op.graphOp << ")";
+        break;
+      case MetaOpKind::kLoad:
+        oss << "MEM.load(" << op.target << ", bytes=" << op.bytes << ")";
+        break;
+      case MetaOpKind::kStore:
+        oss << "MEM.store(" << op.target << ", bytes=" << op.bytes << ")";
+        break;
+      case MetaOpKind::kCompute:
+        oss << "CIM.compute(" << op.target << ", kind="
+            << opKindToken(op.work.kind) << ", gop=" << op.graphOp
+            << ", macs=" << op.work.macs << ", wbytes=" << op.work.weightBytes
+            << ", ibytes=" << op.work.inputBytes
+            << ", obytes=" << op.work.outputBytes
+            << ", velems=" << op.work.vectorElems
+            << ", tiles=" << op.work.weightTiles
+            << ", util=" << formatDouble(op.work.utilization, 6)
+            << ", rows=" << op.work.movingRows
+            << ", dyn=" << (op.work.dynamicWeights ? 1 : 0)
+            << ", ai=" << formatDouble(op.work.aiMacsPerByte, 6)
+            << ", com=" << op.alloc.computeArrays
+            << ", min=" << op.alloc.memInArrays
+            << ", mout=" << op.alloc.memOutArrays << ")";
+        break;
+      case MetaOpKind::kFuCompute:
+        oss << "FU.compute(" << op.target << ", elems=" << op.work.vectorElems
+            << ")";
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+printProgram(const MetaProgram &program)
+{
+    std::ostringstream oss;
+    oss << "program " << program.modelName() << " @ " << program.chipName()
+        << "\n";
+    for (const SegmentRecord &seg : program.segments()) {
+        oss << "segment " << seg.index << " compute=" << seg.plan.computeArrays
+            << " memory=" << seg.plan.memoryArrays
+            << " reuse=" << seg.reusedArrays
+            << " pipelined=" << (seg.pipelinedBody ? 1 : 0)
+            << " intra=" << seg.plannedIntra
+            << " inter=" << seg.plannedInter << "\n";
+        for (const MetaOp &op : seg.prologue)
+            oss << "  " << printMetaOp(op) << "\n";
+        oss << "  parallel {\n";
+        for (const MetaOp &op : seg.body)
+            oss << "    " << printMetaOp(op) << "\n";
+        oss << "  }\n";
+        for (const MetaOp &op : seg.epilogue)
+            oss << "  " << printMetaOp(op) << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cmswitch

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual rendering of meta-operator programs in the Fig. 13 grammar,
+ * extended with key=value payload fields so programs round-trip through
+ * the parser losslessly.
+ */
+
+#ifndef CMSWITCH_METAOP_PRINTER_HPP
+#define CMSWITCH_METAOP_PRINTER_HPP
+
+#include <string>
+
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Render one meta-op as a single line (no trailing newline). */
+std::string printMetaOp(const MetaOp &op);
+
+/** Render the whole program (header, segments, parallel blocks). */
+std::string printProgram(const MetaProgram &program);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_METAOP_PRINTER_HPP

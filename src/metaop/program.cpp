@@ -1,0 +1,60 @@
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+void
+MetaProgram::addSegment(SegmentRecord segment)
+{
+    segment.index = static_cast<s64>(segments_.size());
+    segments_.push_back(std::move(segment));
+}
+
+s64
+MetaProgram::totalSwitchedArrays() const
+{
+    s64 total = 0;
+    for (const SegmentRecord &seg : segments_)
+        for (const MetaOp &op : seg.prologue)
+            if (op.kind == MetaOpKind::kSwitch)
+                total += op.arrayCount;
+    return total;
+}
+
+s64
+MetaProgram::totalWeightLoadBytes() const
+{
+    s64 total = 0;
+    for (const SegmentRecord &seg : segments_)
+        for (const MetaOp &op : seg.prologue)
+            if (op.kind == MetaOpKind::kLoadWeight)
+                total += op.bytes;
+    return total;
+}
+
+s64
+MetaProgram::totalWritebackBytes() const
+{
+    s64 total = 0;
+    for (const SegmentRecord &seg : segments_)
+        for (const MetaOp &op : seg.epilogue)
+            if (op.kind == MetaOpKind::kStore)
+                total += op.bytes;
+    return total;
+}
+
+double
+MetaProgram::avgMemoryArrayRatio() const
+{
+    if (segments_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const SegmentRecord &seg : segments_) {
+        s64 total = seg.plan.total();
+        sum += total > 0 ? static_cast<double>(seg.plan.memoryArrays)
+                               / static_cast<double>(total)
+                         : 0.0;
+    }
+    return sum / static_cast<double>(segments_.size());
+}
+
+} // namespace cmswitch

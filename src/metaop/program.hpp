@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Meta-operator program: an ordered list of network segments, each with
+ * a prologue (switches + weight loads), a `parallel { ... }` body
+ * (pipelined computes) and an epilogue (write-backs), mirroring the
+ * code-generation grammar of paper Fig. 13.
+ */
+
+#ifndef CMSWITCH_METAOP_PROGRAM_HPP
+#define CMSWITCH_METAOP_PROGRAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/deha.hpp"
+#include "metaop/meta_op.hpp"
+
+namespace cmswitch {
+
+/** One compiled network segment. */
+struct SegmentRecord
+{
+    s64 index = 0;
+    ModePlan plan;         ///< compute/memory arrays this segment uses
+    s64 reusedArrays = 0;  ///< Eq. 6 output->input buffer reuse count
+    bool pipelinedBody = true; ///< false: body operators issue serially
+    std::vector<MetaOp> prologue;
+    std::vector<MetaOp> body;     ///< executes inside parallel { }
+    std::vector<MetaOp> epilogue;
+
+    /** Compiler-side latency estimates (cycles), kept for reporting. */
+    Cycles plannedIntra = 0;
+    Cycles plannedInter = 0;
+};
+
+/** Whole-network compiled artifact. */
+class MetaProgram
+{
+  public:
+    MetaProgram() = default;
+    MetaProgram(std::string model, std::string chip)
+        : modelName_(std::move(model)), chipName_(std::move(chip))
+    {
+    }
+
+    const std::string &modelName() const { return modelName_; }
+    const std::string &chipName() const { return chipName_; }
+
+    void addSegment(SegmentRecord segment);
+    const std::vector<SegmentRecord> &segments() const { return segments_; }
+    std::vector<SegmentRecord> &segments() { return segments_; }
+    s64 numSegments() const { return static_cast<s64>(segments_.size()); }
+
+    /** @{ Aggregate statistics used by the evaluation harnesses. */
+    s64 totalSwitchedArrays() const; ///< arrays flipped across all segments
+    s64 totalWeightLoadBytes() const;
+    s64 totalWritebackBytes() const;
+    double avgMemoryArrayRatio() const; ///< Fig. 16 bottom-row metric
+    /** @} */
+
+  private:
+    std::string modelName_;
+    std::string chipName_;
+    std::vector<SegmentRecord> segments_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_METAOP_PROGRAM_HPP

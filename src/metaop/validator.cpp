@@ -1,0 +1,98 @@
+#include "metaop/validator.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+std::string
+ValidationReport::summary() const
+{
+    if (ok())
+        return "valid";
+    std::ostringstream oss;
+    oss << problems.size() << " problem(s):\n";
+    for (const std::string &p : problems)
+        oss << "  - " << p << "\n";
+    return oss.str();
+}
+
+ValidationReport
+validateProgram(const MetaProgram &program, const Deha &deha)
+{
+    ValidationReport report;
+    const ChipConfig &chip = deha.config();
+
+    auto complain = [&](s64 seg, const std::string &what) {
+        report.problems.push_back("segment " + std::to_string(seg) + ": "
+                                  + what);
+    };
+
+    // The chip boots with all switchable arrays in compute mode (the
+    // fixed-mode baseline configuration).
+    s64 phys_compute = chip.numSwitchArrays;
+
+    for (const SegmentRecord &seg : program.segments()) {
+        if (seg.plan.total() > chip.numSwitchArrays) {
+            complain(seg.index,
+                     "plan " + std::to_string(seg.plan.computeArrays) + "c+"
+                         + std::to_string(seg.plan.memoryArrays)
+                         + "m exceeds " + std::to_string(chip.numSwitchArrays)
+                         + " arrays");
+            continue; // remaining checks assume a plan that fits
+        }
+
+        // Expected switch delta vs. what the prologue encodes.
+        SwitchDelta expect = deha.switchesBetween(phys_compute, seg.plan);
+        s64 to_compute = 0, to_memory = 0;
+        for (const MetaOp &op : seg.prologue) {
+            if (op.kind != MetaOpKind::kSwitch)
+                continue;
+            if (op.switchTo == ArrayMode::kCompute)
+                to_compute += op.arrayCount;
+            else
+                to_memory += op.arrayCount;
+        }
+        if (to_compute != expect.memToCompute
+            || to_memory != expect.computeToMem) {
+            complain(seg.index,
+                     "switch prologue (" + std::to_string(to_compute) + " TOC, "
+                         + std::to_string(to_memory) + " TOM) != expected ("
+                         + std::to_string(expect.memToCompute) + " TOC, "
+                         + std::to_string(expect.computeToMem) + " TOM)");
+        }
+        phys_compute = deha.applySwitches(phys_compute, expect);
+
+        // Per-op allocations vs. the segment plan (Eqs. 5-8, counts).
+        s64 sum_com = 0, sum_mem = 0;
+        for (const MetaOp &op : seg.body) {
+            if (op.kind != MetaOpKind::kCompute)
+                continue;
+            sum_com += op.alloc.computeArrays;
+            sum_mem += op.alloc.memoryArrays();
+            if (op.alloc.computeArrays < op.work.weightTiles) {
+                complain(seg.index,
+                         op.target + ": " + std::to_string(op.alloc.computeArrays)
+                             + " compute arrays cannot hold "
+                             + std::to_string(op.work.weightTiles) + " tiles");
+            }
+        }
+        if (sum_com != seg.plan.computeArrays) {
+            complain(seg.index, "sum of op compute arrays "
+                                    + std::to_string(sum_com) + " != plan "
+                                    + std::to_string(seg.plan.computeArrays));
+        }
+        if (sum_mem - seg.reusedArrays != seg.plan.memoryArrays) {
+            complain(seg.index,
+                     "sum of op memory arrays " + std::to_string(sum_mem)
+                         + " - reuse " + std::to_string(seg.reusedArrays)
+                         + " != plan " + std::to_string(seg.plan.memoryArrays));
+        }
+        if (seg.reusedArrays < 0 || seg.reusedArrays > sum_mem)
+            complain(seg.index, "reuse count out of range");
+    }
+    return report;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural validation of meta-operator programs against a chip
+ * description: resource limits (Eq. 8), mode-plan consistency, and
+ * switch-sequence correctness across segments.
+ */
+
+#ifndef CMSWITCH_METAOP_VALIDATOR_HPP
+#define CMSWITCH_METAOP_VALIDATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/deha.hpp"
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Result of validating a program; empty problems == valid. */
+struct ValidationReport
+{
+    std::vector<std::string> problems;
+
+    bool ok() const { return problems.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Check @p program against @p deha:
+ *  - every segment plan fits on the chip (Eq. 8 at segment granularity);
+ *  - per-operator allocations are covered by the segment plan, with
+ *    reuse accounting (Eqs. 5-7 at count granularity);
+ *  - CM.switch prologues reproduce exactly the mode deltas between
+ *    consecutive segments starting from an all-compute chip;
+ *  - compute ops can hold their weights (compute arrays >= tiles).
+ */
+ValidationReport validateProgram(const MetaProgram &program, const Deha &deha);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_METAOP_VALIDATOR_HPP

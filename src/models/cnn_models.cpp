@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Convolutional model builders. Layer configurations follow the
+ * original papers (VGG: Simonyan & Zisserman; ResNet: He et al.;
+ * MobileNetV2: Sandler et al.) with ImageNet 3x224x224 inputs.
+ */
+
+#include "models/model_zoo.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Builder helper tracking the current feature map through a CNN. */
+class CnnBuilder
+{
+  public:
+    CnnBuilder(Graph &graph, s64 batch, s64 channels, s64 height, s64 width)
+        : graph_(graph), batch_(batch), c_(channels), h_(height), w_(width)
+    {
+        cursor_ = graph_.addTensor("input", Shape{batch_, c_, h_, w_},
+                                   DType::kInt8, TensorKind::kInput);
+    }
+
+    TensorId cursor() const { return cursor_; }
+    s64 channels() const { return c_; }
+    s64 height() const { return h_; }
+    s64 width() const { return w_; }
+    void setCursor(TensorId t, s64 c, s64 h, s64 w)
+    {
+        cursor_ = t;
+        c_ = c;
+        h_ = h;
+        w_ = w;
+    }
+
+    /** conv + optional ReLU; returns output tensor. */
+    TensorId
+    conv(const std::string &name, s64 out_c, s64 kernel, s64 stride,
+         s64 pad, bool relu = true, s64 groups = 1)
+    {
+        bool depthwise = groups == c_ && out_c == c_ && groups > 1;
+        TensorId w_id = graph_.addTensor(
+            name + ".w",
+            Shape{out_c, c_ / (depthwise ? c_ : groups), kernel, kernel},
+            DType::kInt8, TensorKind::kWeight);
+        s64 oh = (h_ + 2 * pad - kernel) / stride + 1;
+        s64 ow = (w_ + 2 * pad - kernel) / stride + 1;
+        TensorId out = graph_.addTensor(name + ".out",
+                                        Shape{batch_, out_c, oh, ow});
+        Operator op;
+        op.name = name;
+        op.kind = depthwise ? OpKind::kDepthwiseConv2d : OpKind::kConv2d;
+        op.cls = OpClass::kConv;
+        op.inputs = {cursor_, w_id};
+        op.outputs = {out};
+        op.conv = ConvAttrs{kernel, kernel, stride, stride, pad, pad, groups};
+        graph_.addOp(op);
+        setCursor(out, out_c, oh, ow);
+        if (relu)
+            activation(name + ".relu", "relu");
+        return cursor_;
+    }
+
+    void
+    activation(const std::string &name, const std::string &fn)
+    {
+        TensorId out = graph_.addTensor(name + ".out",
+                                        Shape{batch_, c_, h_, w_});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kActivation;
+        op.activationName = fn;
+        op.inputs = {cursor_};
+        op.outputs = {out};
+        graph_.addOp(op);
+        cursor_ = out;
+    }
+
+    void
+    pool(const std::string &name, s64 kernel, s64 stride)
+    {
+        s64 oh = (h_ - kernel) / stride + 1;
+        s64 ow = (w_ - kernel) / stride + 1;
+        TensorId out = graph_.addTensor(name + ".out",
+                                        Shape{batch_, c_, oh, ow});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kPool;
+        op.inputs = {cursor_};
+        op.outputs = {out};
+        op.conv = ConvAttrs{kernel, kernel, stride, stride, 0, 0, 1};
+        graph_.addOp(op);
+        setCursor(out, c_, oh, ow);
+    }
+
+    void
+    globalPool(const std::string &name)
+    {
+        TensorId out = graph_.addTensor(name + ".out", Shape{batch_, c_, 1, 1});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kPool;
+        op.inputs = {cursor_};
+        op.outputs = {out};
+        op.conv = ConvAttrs{h_, w_, 1, 1, 0, 0, 1};
+        graph_.addOp(op);
+        setCursor(out, c_, 1, 1);
+    }
+
+    /** Residual add of @p other onto the cursor. */
+    void
+    add(const std::string &name, TensorId other)
+    {
+        TensorId out = graph_.addTensor(name + ".out",
+                                        Shape{batch_, c_, h_, w_});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kElementwiseAdd;
+        op.inputs = {cursor_, other};
+        op.outputs = {out};
+        graph_.addOp(op);
+        cursor_ = out;
+    }
+
+    /** Final fully-connected classifier (flattens the feature map). */
+    void
+    fc(const std::string &name, s64 out_dim, bool relu,
+       OpClass cls = OpClass::kClassifier)
+    {
+        s64 in_dim = c_ * h_ * w_;
+        TensorId flat = graph_.addTensor(name + ".flat",
+                                         Shape{batch_, in_dim});
+        Operator reshape;
+        reshape.name = name + ".reshape";
+        reshape.kind = OpKind::kReshape;
+        reshape.inputs = {cursor_};
+        reshape.outputs = {flat};
+        graph_.addOp(reshape);
+
+        TensorId w_id = graph_.addTensor(name + ".w", Shape{in_dim, out_dim},
+                                         DType::kInt8, TensorKind::kWeight);
+        TensorId out = graph_.addTensor(name + ".out", Shape{batch_, out_dim});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kMatMul;
+        op.cls = cls;
+        op.inputs = {flat, w_id};
+        op.outputs = {out};
+        graph_.addOp(op);
+        setCursor(out, out_dim, 1, 1);
+        if (relu)
+            activation(name + ".relu", "relu");
+    }
+
+  private:
+    Graph &graph_;
+    s64 batch_;
+    s64 c_, h_, w_;
+    TensorId cursor_;
+};
+
+} // namespace
+
+Graph
+buildVgg16(s64 batch)
+{
+    Graph g("vgg16.b" + std::to_string(batch));
+    CnnBuilder b(g, batch, 3, 224, 224);
+    const s64 cfg[] = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+                       512, 512, 512, -1, 512, 512, 512, -1};
+    int conv_idx = 0, pool_idx = 0;
+    for (s64 c : cfg) {
+        if (c < 0) {
+            b.pool("pool" + std::to_string(++pool_idx), 2, 2);
+        } else {
+            b.conv("conv" + std::to_string(++conv_idx), c, 3, 1, 1);
+        }
+    }
+    b.fc("fc1", 4096, true, OpClass::kClassifier);
+    b.fc("fc2", 4096, true, OpClass::kClassifier);
+    b.fc("fc3", 1000, false, OpClass::kClassifier);
+    g.validate();
+    return g;
+}
+
+namespace {
+
+/** ResNet basic block (two 3x3 convs) with optional downsampling. */
+void
+basicBlock(CnnBuilder &b, const std::string &name, s64 out_c,
+           s64 stride)
+{
+    TensorId skip = b.cursor();
+    s64 skip_c = b.channels();
+    s64 skip_h = b.height(), skip_w = b.width();
+    b.conv(name + ".conv1", out_c, 3, stride, 1, true);
+    b.conv(name + ".conv2", out_c, 3, 1, 1, false);
+    if (stride != 1 || skip_c != out_c) {
+        // Projection shortcut on the saved input.
+        TensorId cur = b.cursor();
+        s64 cur_c = b.channels(), cur_h = b.height(), cur_w = b.width();
+        b.setCursor(skip, skip_c, skip_h, skip_w);
+        b.conv(name + ".down", out_c, 1, stride, 0, false);
+        skip = b.cursor();
+        b.setCursor(cur, cur_c, cur_h, cur_w);
+    }
+    b.add(name + ".add", skip);
+    b.activation(name + ".relu", "relu");
+}
+
+/** ResNet bottleneck block (1x1 -> 3x3 -> 1x1, 4x expansion). */
+void
+bottleneckBlock(CnnBuilder &b, const std::string &name, s64 mid_c,
+                s64 stride)
+{
+    s64 out_c = mid_c * 4;
+    TensorId skip = b.cursor();
+    s64 skip_c = b.channels();
+    s64 skip_h = b.height(), skip_w = b.width();
+    b.conv(name + ".conv1", mid_c, 1, 1, 0, true);
+    b.conv(name + ".conv2", mid_c, 3, stride, 1, true);
+    b.conv(name + ".conv3", out_c, 1, 1, 0, false);
+    if (stride != 1 || skip_c != out_c) {
+        TensorId cur = b.cursor();
+        s64 cur_c = b.channels(), cur_h = b.height(), cur_w = b.width();
+        b.setCursor(skip, skip_c, skip_h, skip_w);
+        b.conv(name + ".down", out_c, 1, stride, 0, false);
+        skip = b.cursor();
+        b.setCursor(cur, cur_c, cur_h, cur_w);
+    }
+    b.add(name + ".add", skip);
+    b.activation(name + ".relu", "relu");
+}
+
+} // namespace
+
+Graph
+buildResNet18(s64 batch)
+{
+    Graph g("resnet18.b" + std::to_string(batch));
+    CnnBuilder b(g, batch, 3, 224, 224);
+    b.conv("conv1", 64, 7, 2, 3);
+    b.pool("pool1", 3, 2);
+    const s64 stage_c[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < 2; ++block) {
+            s64 stride = (stage > 0 && block == 0) ? 2 : 1;
+            basicBlock(b, "s" + std::to_string(stage + 1) + ".b"
+                             + std::to_string(block + 1),
+                       stage_c[stage], stride);
+        }
+    }
+    b.globalPool("avgpool");
+    b.fc("fc", 1000, false);
+    g.validate();
+    return g;
+}
+
+Graph
+buildResNet50(s64 batch)
+{
+    Graph g("resnet50.b" + std::to_string(batch));
+    CnnBuilder b(g, batch, 3, 224, 224);
+    b.conv("conv1", 64, 7, 2, 3);
+    b.pool("pool1", 3, 2);
+    const s64 stage_c[] = {64, 128, 256, 512};
+    const int stage_n[] = {3, 4, 6, 3};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < stage_n[stage]; ++block) {
+            s64 stride = (stage > 0 && block == 0) ? 2 : 1;
+            bottleneckBlock(b, "s" + std::to_string(stage + 1) + ".b"
+                                  + std::to_string(block + 1),
+                            stage_c[stage], stride);
+        }
+    }
+    b.globalPool("avgpool");
+    b.fc("fc", 1000, false);
+    g.validate();
+    return g;
+}
+
+Graph
+buildMobileNetV2(s64 batch)
+{
+    Graph g("mobilenetv2.b" + std::to_string(batch));
+    CnnBuilder b(g, batch, 3, 224, 224);
+    b.conv("conv1", 32, 3, 2, 1);
+
+    // (expansion, out channels, repeats, first stride)
+    const s64 blocks[][4] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    int idx = 0;
+    for (const auto &blk : blocks) {
+        s64 t = blk[0], c = blk[1], n = blk[2], s = blk[3];
+        for (s64 rep = 0; rep < n; ++rep) {
+            std::string name = "ir" + std::to_string(++idx);
+            s64 stride = rep == 0 ? s : 1;
+            s64 in_c = b.channels();
+            s64 expanded = in_c * t;
+            TensorId skip = b.cursor();
+            s64 skip_h = b.height(), skip_w = b.width();
+            if (t != 1)
+                b.conv(name + ".expand", expanded, 1, 1, 0, true);
+            b.conv(name + ".dw", expanded, 3, stride, 1, true, expanded);
+            b.conv(name + ".project", c, 1, 1, 0, false);
+            if (stride == 1 && in_c == c) {
+                (void)skip_h;
+                (void)skip_w;
+                b.add(name + ".add", skip);
+            }
+        }
+    }
+    b.conv("conv_last", 1280, 1, 1, 0, true);
+    b.globalPool("avgpool");
+    b.fc("fc", 1000, false);
+    g.validate();
+    return g;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,59 @@
+#include "models/model_zoo.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+Graph
+buildTinyMlp(s64 batch, s64 inDim, s64 hidden, s64 outDim)
+{
+    Graph g("tinymlp.b" + std::to_string(batch));
+    TensorId x = g.addTensor("x", Shape{batch, inDim}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId w1 = g.addTensor("w1", Shape{inDim, hidden}, DType::kInt8,
+                              TensorKind::kWeight);
+    TensorId h = g.addTensor("h", Shape{batch, hidden});
+
+    Operator fc1;
+    fc1.name = "fc1";
+    fc1.kind = OpKind::kMatMul;
+    fc1.cls = OpClass::kFfn;
+    fc1.inputs = {x, w1};
+    fc1.outputs = {h};
+    g.addOp(fc1);
+
+    TensorId ha = g.addTensor("h.relu", Shape{batch, hidden});
+    Operator relu;
+    relu.name = "relu";
+    relu.kind = OpKind::kActivation;
+    relu.activationName = "relu";
+    relu.inputs = {h};
+    relu.outputs = {ha};
+    g.addOp(relu);
+
+    TensorId w2 = g.addTensor("w2", Shape{hidden, outDim}, DType::kInt8,
+                              TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{batch, outDim}, DType::kInt8,
+                             TensorKind::kOutput);
+    Operator fc2;
+    fc2.name = "fc2";
+    fc2.kind = OpKind::kMatMul;
+    fc2.cls = OpClass::kClassifier;
+    fc2.inputs = {ha, w2};
+    fc2.outputs = {y};
+    g.addOp(fc2);
+
+    g.validate();
+    return g;
+}
+
+std::vector<ZooEntry>
+fig14Benchmarks()
+{
+    return {
+        {"bert-large", false}, {"llama2-7b", true}, {"opt-13b", true},
+        {"mobilenetv2", false}, {"resnet18", false}, {"vgg16", false},
+    };
+}
+
+} // namespace cmswitch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Model zoo: constructs the benchmark networks of the paper (Sec. 5.1)
+ * as computation graphs, parameterised by batch size and sequence
+ * length. All models are int8-quantised (weights + activations), as in
+ * the paper's evaluation.
+ */
+
+#ifndef CMSWITCH_MODELS_MODEL_ZOO_HPP
+#define CMSWITCH_MODELS_MODEL_ZOO_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cmswitch {
+
+/** @{ Convolutional networks (ImageNet-shaped inputs, NCHW). */
+Graph buildVgg16(s64 batch = 1);
+Graph buildResNet18(s64 batch = 1);
+Graph buildResNet50(s64 batch = 1);
+Graph buildMobileNetV2(s64 batch = 1);
+/** @} */
+
+/** Transformer family hyper-parameters. */
+struct TransformerConfig
+{
+    std::string name;
+    s64 layers = 12;
+    s64 dModel = 768;
+    s64 heads = 12;
+    s64 ffnDim = 3072;
+    s64 vocab = 30522;
+    bool decoderOnly = false; ///< GPT/OPT/LLaMA generate autoregressively
+    bool gatedFfn = false;    ///< LLaMA-style SwiGLU (3 FFN matmuls)
+
+    s64 headDim() const { return dModel / heads; }
+
+    /** @{ Published configurations. */
+    static TransformerConfig bertBase();
+    static TransformerConfig bertLarge();
+    static TransformerConfig gpt();       ///< GPT-2 XL-scale decoder
+    static TransformerConfig llama2_7b();
+    static TransformerConfig opt6_7b();
+    static TransformerConfig opt13b();
+    /** @} */
+};
+
+/**
+ * Full-sequence (prefill / encoder) pass: every token of the input
+ * sequence processed at once. For encoder-only models this is the
+ * whole inference.
+ */
+Graph buildTransformerPrefill(const TransformerConfig &config, s64 batch,
+                              s64 seqLen);
+
+/**
+ * One autoregressive decode step: a single new token per batch lane,
+ * attending over @p kvLen cached key/value entries. The KV cache
+ * appears as kKvCache tensors (stationary operands of the attention
+ * DynMatMuls).
+ */
+Graph buildTransformerDecodeStep(const TransformerConfig &config, s64 batch,
+                                 s64 kvLen);
+
+/** A tiny MLP used by quickstart/examples and many unit tests. */
+Graph buildTinyMlp(s64 batch = 1, s64 inDim = 64, s64 hidden = 128,
+                   s64 outDim = 32);
+
+/** Registry of the six end-to-end benchmark models of Fig. 14. */
+struct ZooEntry
+{
+    std::string name;
+    bool generative; ///< needs prefill+decode evaluation
+};
+
+std::vector<ZooEntry> fig14Benchmarks();
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_MODELS_MODEL_ZOO_HPP

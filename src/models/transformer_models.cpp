@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Transformer model builders: full-sequence prefill graphs and
+ * KV-cached single-token decode-step graphs. Attention score/context
+ * products are kDynMatMul (runtime-written stationary operands), which
+ * is what lets CMSwitch keep K/V on-chip in memory-mode arrays and
+ * switch them to compute mode in place (paper Fig. 15(b)).
+ */
+
+#include "models/model_zoo.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Shared state while emitting one transformer graph. */
+struct TfBuilder
+{
+    Graph &g;
+    const TransformerConfig &cfg;
+    s64 batch;
+    s64 seq; ///< tokens processed this pass (1 for decode)
+
+    s64 rows() const { return batch * seq; }
+
+    TensorId
+    activationTensor(const std::string &name, Shape shape)
+    {
+        return g.addTensor(name, std::move(shape));
+    }
+
+    /** x[rows,D_in] x W[D_in,D_out] with a static weight. */
+    TensorId
+    fc(const std::string &name, TensorId x, s64 d_in, s64 d_out, OpClass cls)
+    {
+        TensorId w = g.addTensor(name + ".w", Shape{d_in, d_out},
+                                 DType::kInt8, TensorKind::kWeight);
+        TensorId out = activationTensor(name + ".out", Shape{rows(), d_out});
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kMatMul;
+        op.cls = cls;
+        op.inputs = {x, w};
+        op.outputs = {out};
+        g.addOp(op);
+        return out;
+    }
+
+    TensorId
+    fuUnary(const std::string &name, OpKind kind, TensorId x, Shape shape,
+            const std::string &act = "")
+    {
+        TensorId out = activationTensor(name + ".out", std::move(shape));
+        Operator op;
+        op.name = name;
+        op.kind = kind;
+        op.activationName = act;
+        op.inputs = {x};
+        op.outputs = {out};
+        g.addOp(op);
+        return out;
+    }
+
+    TensorId
+    fuBinary(const std::string &name, OpKind kind, TensorId a, TensorId b,
+             Shape shape)
+    {
+        TensorId out = activationTensor(name + ".out", std::move(shape));
+        Operator op;
+        op.name = name;
+        op.kind = kind;
+        op.inputs = {a, b};
+        op.outputs = {out};
+        g.addOp(op);
+        return out;
+    }
+
+    /** moving x stationary dynamic matmul (QK^T / SV). */
+    TensorId
+    dynMatMul(const std::string &name, TensorId moving, TensorId stationary,
+              Shape out_shape, OpClass cls)
+    {
+        TensorId out = activationTensor(name + ".out", std::move(out_shape));
+        Operator op;
+        op.name = name;
+        op.kind = OpKind::kDynMatMul;
+        op.cls = cls;
+        op.inputs = {moving, stationary};
+        op.outputs = {out};
+        g.addOp(op);
+        return out;
+    }
+
+    /**
+     * One encoder/decoder layer over x [rows, D]; kv_len is the
+     * attention span (== seq for prefill, cache length for decode).
+     * When @p cached is true the attention stationary operands are
+     * kKvCache tensors fed by concat ops (cache append).
+     */
+    TensorId
+    layer(int index, TensorId x, s64 kv_len, bool cached)
+    {
+        const s64 d = cfg.dModel;
+        const s64 h = cfg.heads;
+        const s64 dk = cfg.headDim();
+        const std::string p = "l" + std::to_string(index) + ".";
+
+        TensorId ln1 = fuUnary(p + "ln1", OpKind::kLayerNorm, x,
+                               Shape{rows(), d});
+        TensorId q = fc(p + "wq", ln1, d, d, OpClass::kMhaQkvProj);
+        TensorId k = fc(p + "wk", ln1, d, d, OpClass::kMhaQkvProj);
+        TensorId v = fc(p + "wv", ln1, d, d, OpClass::kMhaQkvProj);
+
+        // Per-head views of the moving operand.
+        TensorId q_heads = fuUnary(p + "q.split", OpKind::kReshape, q,
+                                   Shape{batch * h, seq, dk});
+
+        // Stationary operands: K^T [B*H, dk, kv] and V [B*H, kv, dk].
+        TensorId k_station, v_station;
+        if (cached) {
+            TensorId k_cache = g.addTensor(p + "kcache",
+                                           Shape{batch * h, dk, kv_len - seq},
+                                           DType::kInt8, TensorKind::kKvCache);
+            TensorId v_cache = g.addTensor(p + "vcache",
+                                           Shape{batch * h, kv_len - seq, dk},
+                                           DType::kInt8, TensorKind::kKvCache);
+            k_station = fuBinary(p + "k.append", OpKind::kConcat, k_cache, k,
+                                 Shape{batch * h, dk, kv_len});
+            v_station = fuBinary(p + "v.append", OpKind::kConcat, v_cache, v,
+                                 Shape{batch * h, kv_len, dk});
+        } else {
+            k_station = fuUnary(p + "k.t", OpKind::kReshape, k,
+                                Shape{batch * h, dk, kv_len});
+            v_station = fuUnary(p + "v.split", OpKind::kReshape, v,
+                                Shape{batch * h, kv_len, dk});
+        }
+
+        TensorId scores = dynMatMul(p + "qkT", q_heads, k_station,
+                                    Shape{batch * h, seq, kv_len},
+                                    OpClass::kAttnScore);
+        TensorId probs = fuUnary(p + "softmax", OpKind::kSoftmax, scores,
+                                 Shape{batch * h, seq, kv_len});
+        TensorId ctx = dynMatMul(p + "sv", probs, v_station,
+                                 Shape{batch * h, seq, dk},
+                                 OpClass::kAttnContext);
+        TensorId ctx_merged = fuUnary(p + "ctx.merge", OpKind::kReshape, ctx,
+                                      Shape{rows(), d});
+        TensorId attn_out = fc(p + "wo", ctx_merged, d, d,
+                               OpClass::kMhaOutProj);
+        TensorId res1 = fuBinary(p + "res1", OpKind::kElementwiseAdd, x,
+                                 attn_out, Shape{rows(), d});
+
+        TensorId ln2 = fuUnary(p + "ln2", OpKind::kLayerNorm, res1,
+                               Shape{rows(), d});
+        TensorId ffn_out;
+        if (cfg.gatedFfn) {
+            TensorId gate = fc(p + "ffn.gate", ln2, d, cfg.ffnDim,
+                               OpClass::kFfn);
+            TensorId gate_act = fuUnary(p + "ffn.silu", OpKind::kActivation,
+                                        gate, Shape{rows(), cfg.ffnDim},
+                                        "silu");
+            TensorId up = fc(p + "ffn.up", ln2, d, cfg.ffnDim, OpClass::kFfn);
+            TensorId prod = fuBinary(p + "ffn.mul", OpKind::kElementwiseMul,
+                                     gate_act, up, Shape{rows(), cfg.ffnDim});
+            ffn_out = fc(p + "ffn.down", prod, cfg.ffnDim, d, OpClass::kFfn);
+        } else {
+            TensorId h1 = fc(p + "ffn.fc1", ln2, d, cfg.ffnDim, OpClass::kFfn);
+            TensorId h1a = fuUnary(p + "ffn.gelu", OpKind::kActivation, h1,
+                                   Shape{rows(), cfg.ffnDim}, "gelu");
+            ffn_out = fc(p + "ffn.fc2", h1a, cfg.ffnDim, d, OpClass::kFfn);
+        }
+        return fuBinary(p + "res2", OpKind::kElementwiseAdd, res1, ffn_out,
+                        Shape{rows(), d});
+    }
+};
+
+} // namespace
+
+TransformerConfig
+TransformerConfig::bertBase()
+{
+    return TransformerConfig{"bert-base", 12, 768, 12, 3072, 30522,
+                             false, false};
+}
+
+TransformerConfig
+TransformerConfig::bertLarge()
+{
+    return TransformerConfig{"bert-large", 24, 1024, 16, 4096, 30522,
+                             false, false};
+}
+
+TransformerConfig
+TransformerConfig::gpt()
+{
+    return TransformerConfig{"gpt", 48, 1600, 25, 6400, 50257, true, false};
+}
+
+TransformerConfig
+TransformerConfig::llama2_7b()
+{
+    return TransformerConfig{"llama2-7b", 32, 4096, 32, 11008, 32000,
+                             true, true};
+}
+
+TransformerConfig
+TransformerConfig::opt6_7b()
+{
+    return TransformerConfig{"opt-6.7b", 32, 4096, 32, 16384, 50272,
+                             true, false};
+}
+
+TransformerConfig
+TransformerConfig::opt13b()
+{
+    return TransformerConfig{"opt-13b", 40, 5120, 40, 20480, 50272,
+                             true, false};
+}
+
+Graph
+buildTransformerPrefill(const TransformerConfig &config, s64 batch, s64 seqLen)
+{
+    cmswitch_fatal_if(batch <= 0 || seqLen <= 0,
+                      "batch and sequence length must be positive");
+    Graph g(config.name + ".prefill.b" + std::to_string(batch) + ".s"
+            + std::to_string(seqLen));
+    TfBuilder b{g, config, batch, seqLen};
+
+    TensorId ids = g.addTensor("ids", Shape{batch, seqLen}, DType::kInt32,
+                               TensorKind::kInput);
+    TensorId x = b.fuUnary("embed", OpKind::kEmbedding, ids,
+                           Shape{batch * seqLen, config.dModel});
+    for (int l = 0; l < config.layers; ++l)
+        x = b.layer(l, x, seqLen, /*cached=*/false);
+    TensorId final_ln = b.fuUnary("final.ln", OpKind::kLayerNorm, x,
+                                  Shape{batch * seqLen, config.dModel});
+    if (config.decoderOnly) {
+        // Logits for the last position of each lane.
+        TensorId last = b.fuUnary("last.token", OpKind::kReshape, final_ln,
+                                  Shape{batch, config.dModel});
+        TensorId w = g.addTensor("lm_head.w",
+                                 Shape{config.dModel, config.vocab},
+                                 DType::kInt8, TensorKind::kWeight);
+        TensorId logits = g.addTensor("logits", Shape{batch, config.vocab},
+                                      DType::kInt8, TensorKind::kOutput);
+        Operator head;
+        head.name = "lm_head";
+        head.kind = OpKind::kMatMul;
+        head.cls = OpClass::kClassifier;
+        head.inputs = {last, w};
+        head.outputs = {logits};
+        g.addOp(head);
+    } else {
+        g.tensor(final_ln).kind = TensorKind::kOutput;
+    }
+    g.validate();
+    return g;
+}
+
+Graph
+buildTransformerDecodeStep(const TransformerConfig &config, s64 batch,
+                           s64 kvLen)
+{
+    cmswitch_fatal_if(!config.decoderOnly,
+                      "decode steps only exist for decoder-only models");
+    cmswitch_fatal_if(batch <= 0 || kvLen <= 0,
+                      "batch and kv length must be positive");
+    Graph g(config.name + ".decode.b" + std::to_string(batch) + ".kv"
+            + std::to_string(kvLen));
+    TfBuilder b{g, config, batch, /*seq=*/1};
+
+    TensorId ids = g.addTensor("ids", Shape{batch, 1}, DType::kInt32,
+                               TensorKind::kInput);
+    TensorId x = b.fuUnary("embed", OpKind::kEmbedding, ids,
+                           Shape{batch, config.dModel});
+    for (int l = 0; l < config.layers; ++l)
+        x = b.layer(l, x, kvLen, /*cached=*/true);
+    TensorId final_ln = b.fuUnary("final.ln", OpKind::kLayerNorm, x,
+                                  Shape{batch, config.dModel});
+    TensorId w = g.addTensor("lm_head.w", Shape{config.dModel, config.vocab},
+                             DType::kInt8, TensorKind::kWeight);
+    TensorId logits = g.addTensor("logits", Shape{batch, config.vocab},
+                                  DType::kInt8, TensorKind::kOutput);
+    Operator head;
+    head.name = "lm_head";
+    head.kind = OpKind::kMatMul;
+    head.cls = OpClass::kClassifier;
+    head.inputs = {final_ln, w};
+    head.outputs = {logits};
+    g.addOp(head);
+    g.validate();
+    return g;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,98 @@
+#include "sim/energy.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+EnergyParams
+EnergyParams::dynaplasia()
+{
+    return EnergyParams{};
+}
+
+EnergyParams
+EnergyParams::prime()
+{
+    EnergyParams p;
+    p.arrayReadPjPerByte = 0.3;   // ReRAM reads are cheap
+    p.arrayWritePjPerByte = 20.0; // programming pulses are not
+    p.switchPjPerArray = 15.0;
+    return p;
+}
+
+EnergyModel::EnergyModel(const Deha &deha, EnergyParams params)
+    : deha_(&deha), params_(params)
+{
+}
+
+EnergyReport
+EnergyModel::price(const MetaProgram &program, Cycles total_cycles) const
+{
+    const ChipConfig &chip = deha_->config();
+    EnergyReport report;
+
+    for (const SegmentRecord &seg : program.segments()) {
+        for (const MetaOp &op : seg.prologue) {
+            switch (op.kind) {
+              case MetaOpKind::kSwitch:
+                report.switchPj += params_.switchPjPerArray
+                                 * static_cast<double>(op.arrayCount);
+                break;
+              case MetaOpKind::kLoadWeight:
+                // Weights arrive from DRAM and are programmed in place.
+                report.dmaPj += params_.mainMemoryPjPerByte
+                              * static_cast<double>(op.bytes);
+                report.rewritePj += params_.arrayWritePjPerByte
+                                  * static_cast<double>(op.bytes);
+                break;
+              case MetaOpKind::kLoad:
+                report.dmaPj += params_.mainMemoryPjPerByte
+                              * static_cast<double>(op.bytes);
+                break;
+              default:
+                cmswitch_panic("unexpected prologue op");
+            }
+        }
+        for (const MetaOp &op : seg.body) {
+            if (op.kind == MetaOpKind::kFuCompute) {
+                report.fuPj += params_.fuPjPerElem
+                             * static_cast<double>(op.work.vectorElems);
+                continue;
+            }
+            cmswitch_assert(op.kind == MetaOpKind::kCompute,
+                            "unexpected body op");
+            report.computePj += params_.macPj
+                              * static_cast<double>(op.work.macs);
+            report.fuPj += params_.fuPjPerElem
+                         * static_cast<double>(op.work.vectorElems);
+
+            // Streamed operand bytes split between memory-mode arrays
+            // and the off-chip link by contributed bandwidth (Eq. 10).
+            double stream = static_cast<double>(op.work.inputBytes
+                                                + op.work.outputBytes);
+            if (op.work.dynamicWeights) {
+                stream += static_cast<double>(op.work.weightBytes);
+                report.rewritePj += params_.arrayWritePjPerByte
+                                  * static_cast<double>(op.work.weightBytes);
+            }
+            double mem_bw = static_cast<double>(op.alloc.memoryArrays())
+                          * chip.internalBwPerArray;
+            double total_bw = mem_bw + chip.dMain();
+            double on_chip = total_bw > 0.0 ? stream * mem_bw / total_bw
+                                            : 0.0;
+            report.memoryPj += params_.arrayReadPjPerByte * on_chip;
+            report.dmaPj += params_.mainMemoryPjPerByte * (stream - on_chip);
+        }
+        for (const MetaOp &op : seg.epilogue) {
+            cmswitch_assert(op.kind == MetaOpKind::kStore,
+                            "unexpected epilogue op");
+            report.dmaPj += params_.mainMemoryPjPerByte
+                          * static_cast<double>(op.bytes);
+        }
+    }
+    report.staticPj = params_.staticPjPerCycle
+                    * static_cast<double>(total_cycles);
+    return report;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Energy model for compiled meta-operator programs. The paper argues
+ * dual-mode switching "can significantly boost overall system
+ * performance and energy efficiency" (Sec. 3.2) without quantifying
+ * the latter; this extension prices a program's energy from the same
+ * DEHA parameters so the claim can be measured.
+ *
+ * All per-event energies are in picojoules and deliberately
+ * order-of-magnitude (int8 CIM MAC ~0.05 pJ, off-chip DRAM ~8 pJ/B),
+ * calibrated to the usual ~100x gap between on-chip and off-chip
+ * accesses. Absolute joules are not meaningful for comparison with the
+ * paper (which reports none); *ratios* across compilers are.
+ */
+
+#ifndef CMSWITCH_SIM_ENERGY_HPP
+#define CMSWITCH_SIM_ENERGY_HPP
+
+#include "arch/deha.hpp"
+#include "metaop/program.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Per-event energy costs (picojoules). */
+struct EnergyParams
+{
+    double macPj = 0.05;            ///< one int8 MAC inside an array
+    double arrayReadPjPerByte = 0.5;  ///< memory-mode array read
+    double arrayWritePjPerByte = 1.0; ///< array programming (weights)
+    double mainMemoryPjPerByte = 8.0; ///< off-chip DRAM transfer
+    double switchPjPerArray = 10.0;   ///< driver reconfiguration (Eq. 1)
+    double fuPjPerElem = 0.1;         ///< vector function-unit op
+    double staticPjPerCycle = 2.0;    ///< whole-chip leakage
+
+    /** eDRAM chip: balanced read/write. */
+    static EnergyParams dynaplasia();
+
+    /** ReRAM chip: cheap reads, 20x write energy. */
+    static EnergyParams prime();
+};
+
+/** Energy breakdown of one program execution (picojoules). */
+struct EnergyReport
+{
+    double computePj = 0.0; ///< MAC energy
+    double memoryPj = 0.0;  ///< memory-mode array traffic
+    double rewritePj = 0.0; ///< weight programming
+    double dmaPj = 0.0;     ///< off-chip transfers
+    double switchPj = 0.0;  ///< mode switching
+    double fuPj = 0.0;      ///< function-unit work
+    double staticPj = 0.0;  ///< leakage over the runtime
+
+    double totalPj() const
+    {
+        return computePj + memoryPj + rewritePj + dmaPj + switchPj + fuPj
+             + staticPj;
+    }
+    double totalUj() const { return totalPj() * 1e-6; }
+};
+
+/**
+ * Prices meta-operator programs. Streamed operand bytes split between
+ * memory-mode arrays and the off-chip link in proportion to the
+ * bandwidth each side contributes under Eq. 10 — the same split the
+ * latency model assumes.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(const Deha &deha, EnergyParams params);
+
+    /** Price one execution of @p program taking @p total_cycles. */
+    EnergyReport price(const MetaProgram &program,
+                       Cycles total_cycles) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    const Deha *deha_;
+    EnergyParams params_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_ENERGY_HPP

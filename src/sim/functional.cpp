@@ -1,0 +1,250 @@
+#include "sim/functional.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/**
+ * Tiled int8 matmul: the stationary operand is cut into
+ * arrayRows x arrayCols tiles and partial sums accumulate in wide
+ * integers, as the CIM arrays + peripheral accumulators would.
+ */
+void
+tiledMatMulInto(const s32 *a, const s32 *b, s32 *out, s64 m, s64 n, s64 k,
+                const ChipConfig &chip)
+{
+    std::vector<s64> acc(static_cast<std::size_t>(m * k), 0);
+    for (s64 r0 = 0; r0 < n; r0 += chip.arrayRows) {
+        s64 r1 = std::min(n, r0 + chip.arrayRows);
+        for (s64 c0 = 0; c0 < k; c0 += chip.arrayCols) {
+            s64 c1 = std::min(k, c0 + chip.arrayCols);
+            // One array tile holds b[r0..r1, c0..c1]; stream the rows.
+            for (s64 row = 0; row < m; ++row) {
+                for (s64 col = c0; col < c1; ++col) {
+                    s64 partial = 0;
+                    for (s64 r = r0; r < r1; ++r) {
+                        partial += static_cast<s64>(a[row * n + r])
+                                 * static_cast<s64>(b[r * k + col]);
+                    }
+                    acc[static_cast<std::size_t>(row * k + col)] += partial;
+                }
+            }
+        }
+    }
+    for (s64 i = 0; i < m * k; ++i)
+        out[static_cast<std::size_t>(i)] =
+            requantize(acc[static_cast<std::size_t>(i)]);
+}
+
+void
+executeCimOpTiled(const Graph &graph, const Operator &op, const Deha &deha,
+                  TensorValues &values)
+{
+    const ChipConfig &chip = deha.config();
+    switch (op.kind) {
+      case OpKind::kMatMul:
+      case OpKind::kDynMatMul: {
+        const std::vector<s32> &a = values.at(op.inputs[0]);
+        const std::vector<s32> &b = values.at(op.inputs[1]);
+        auto [it, inserted] = values.emplace(
+            op.outputs[0],
+            std::vector<s32>(static_cast<std::size_t>(
+                graph.tensor(op.outputs[0]).shape.numElements())));
+        cmswitch_assert(inserted, "tensor computed twice: ", op.name);
+        const Shape &bs = graph.tensor(op.inputs[1]).shape;
+        s64 n = bs.dim(bs.rank() - 2);
+        s64 k = bs.lastDim();
+        s64 copies = bs.numElements() / (n * k);
+        s64 m_total = static_cast<s64>(a.size()) / n;
+        s64 m_per_copy = m_total / copies;
+        for (s64 c = 0; c < copies; ++c) {
+            tiledMatMulInto(a.data() + c * m_per_copy * n,
+                            b.data() + c * n * k,
+                            it->second.data() + c * m_per_copy * k,
+                            m_per_copy, n, k, chip);
+        }
+        break;
+      }
+      case OpKind::kConv2d:
+      case OpKind::kDepthwiseConv2d: {
+        const std::vector<s32> &x = values.at(op.inputs[0]);
+        const std::vector<s32> &w = values.at(op.inputs[1]);
+        auto [it, inserted] = values.emplace(
+            op.outputs[0],
+            std::vector<s32>(static_cast<std::size_t>(
+                graph.tensor(op.outputs[0]).shape.numElements())));
+        cmswitch_assert(inserted, "tensor computed twice: ", op.name);
+        const Shape &xs = graph.tensor(op.inputs[0]).shape;
+        const Shape &os = graph.tensor(op.outputs[0]).shape;
+        s64 batch = xs.dim(0), in_c = xs.dim(1), in_h = xs.dim(2),
+            in_w = xs.dim(3);
+        s64 out_c = os.dim(1), out_h = os.dim(2), out_w = os.dim(3);
+        bool depthwise = op.kind == OpKind::kDepthwiseConv2d;
+        s64 groups = depthwise ? in_c : op.conv.groups;
+        s64 cpg = depthwise ? 1 : in_c / groups;
+        s64 opg = out_c / groups;
+        s64 patch = cpg * op.conv.kernelH * op.conv.kernelW;
+        s64 m = batch * out_h * out_w;
+
+        // im2col per group, then the tiled matmul path.
+        std::vector<s32> cols(static_cast<std::size_t>(m * patch));
+        std::vector<s32> wmat(static_cast<std::size_t>(patch * opg));
+        std::vector<s32> omat(static_cast<std::size_t>(m * opg));
+        for (s64 g = 0; g < groups; ++g) {
+            for (s64 nb = 0; nb < batch; ++nb) {
+                for (s64 oy = 0; oy < out_h; ++oy) {
+                    for (s64 ox = 0; ox < out_w; ++ox) {
+                        s64 row = (nb * out_h + oy) * out_w + ox;
+                        s64 col = 0;
+                        for (s64 ic = 0; ic < cpg; ++ic) {
+                            for (s64 ky = 0; ky < op.conv.kernelH; ++ky) {
+                                for (s64 kx = 0; kx < op.conv.kernelW; ++kx) {
+                                    s64 iy = oy * op.conv.strideH + ky
+                                           - op.conv.padH;
+                                    s64 ix = ox * op.conv.strideW + kx
+                                           - op.conv.padW;
+                                    s32 v = 0;
+                                    if (iy >= 0 && iy < in_h && ix >= 0
+                                        && ix < in_w) {
+                                        s64 channel = g * cpg + ic;
+                                        s64 xi = ((nb * in_c + channel) * in_h
+                                                  + iy) * in_w + ix;
+                                        v = x[static_cast<std::size_t>(xi)];
+                                    }
+                                    cols[static_cast<std::size_t>(
+                                        row * patch + col)] = v;
+                                    ++col;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (s64 oc = 0; oc < opg; ++oc) {
+                s64 oc_abs = g * opg + oc;
+                for (s64 p = 0; p < patch; ++p) {
+                    wmat[static_cast<std::size_t>(p * opg + oc)] =
+                        w[static_cast<std::size_t>(oc_abs * patch + p)];
+                }
+            }
+            tiledMatMulInto(cols.data(), wmat.data(), omat.data(), m, patch,
+                            opg, chip);
+            for (s64 nb = 0; nb < batch; ++nb) {
+                for (s64 oc = 0; oc < opg; ++oc) {
+                    s64 oc_abs = g * opg + oc;
+                    for (s64 oy = 0; oy < out_h; ++oy) {
+                        for (s64 ox = 0; ox < out_w; ++ox) {
+                            s64 row = (nb * out_h + oy) * out_w + ox;
+                            s64 oi = ((nb * out_c + oc_abs) * out_h + oy)
+                                   * out_w + ox;
+                            it->second[static_cast<std::size_t>(oi)] =
+                                omat[static_cast<std::size_t>(row * opg + oc)];
+                        }
+                    }
+                }
+            }
+        }
+        break;
+      }
+      default:
+        cmswitch_panic("not a CIM op: ", op.name);
+    }
+}
+
+} // namespace
+
+void
+functionalExecute(const Graph &graph, const MetaProgram &program,
+                  const Deha &deha, TensorValues &values)
+{
+    // Per-op count of inputs still missing a value.
+    std::vector<s64> missing(static_cast<std::size_t>(graph.numOps()), 0);
+    for (const Operator &op : graph.ops()) {
+        for (TensorId t : op.inputs)
+            if (!values.count(t))
+                ++missing[static_cast<std::size_t>(op.id)];
+    }
+
+    // Fire every function-unit op whose inputs are ready; CIM ops wait
+    // for the program to schedule them.
+    std::function<void(TensorId)> produced = [&](TensorId t) {
+        for (OpId c : graph.consumersOf(t)) {
+            if (--missing[static_cast<std::size_t>(c)] == 0
+                && !graph.op(c).isCim()) {
+                executeFuOp(graph, graph.op(c), values);
+                for (TensorId out : graph.op(c).outputs)
+                    produced(out);
+            }
+        }
+    };
+    for (const Operator &op : graph.ops()) {
+        if (!op.isCim() && missing[static_cast<std::size_t>(op.id)] == 0
+            && !values.count(op.outputs[0])) {
+            executeFuOp(graph, op, values);
+            for (TensorId out : op.outputs)
+                produced(out);
+        }
+    }
+
+    // Expected sub-op occurrences per graph operator.
+    std::map<OpId, s64> expected, seen;
+    for (const SegmentRecord &seg : program.segments()) {
+        for (const MetaOp &mop : seg.body) {
+            if (mop.kind == MetaOpKind::kCompute)
+                ++expected[mop.graphOp];
+        }
+    }
+    for (OpId id : graph.cimOps()) {
+        cmswitch_assert(expected.count(id),
+                        "program misses CIM op ", graph.op(id).name);
+    }
+
+    for (const SegmentRecord &seg : program.segments()) {
+        for (const MetaOp &mop : seg.body) {
+            if (mop.kind != MetaOpKind::kCompute)
+                continue;
+            OpId id = mop.graphOp;
+            if (++seen[id] < expected[id])
+                continue; // execute once all slices are resident
+            const Operator &op = graph.op(id);
+            cmswitch_assert(missing[static_cast<std::size_t>(id)] == 0,
+                            "program schedules ", op.name,
+                            " before its inputs");
+            executeCimOpTiled(graph, op, deha, values);
+            for (TensorId out : op.outputs)
+                produced(out);
+        }
+    }
+
+    for (TensorId t = 0; t < graph.numTensors(); ++t) {
+        cmswitch_assert(values.count(t), "tensor ", graph.tensor(t).name,
+                        " never produced");
+    }
+}
+
+s64
+verifyProgram(const Graph &graph, const MetaProgram &program,
+              const Deha &deha, u64 seed)
+{
+    TensorValues seeded = seedTensors(graph, seed);
+    TensorValues ref = seeded;
+    referenceExecute(graph, ref);
+    TensorValues fun = seeded;
+    functionalExecute(graph, program, deha, fun);
+
+    s64 mismatches = 0;
+    for (TensorId t = 0; t < graph.numTensors(); ++t) {
+        if (ref.at(t) != fun.at(t))
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CIM functional simulator: executes a compiled meta-operator program
+ * with real int8 tensors, lowering each CIM.compute onto array-sized
+ * weight tiles with int32 partial-sum accumulation — the datapath a
+ * dual-mode chip would exercise. Function-unit operators are triggered
+ * as their producers retire. Results must match the reference executor
+ * bit-exactly (the paper's PyTorch cross-check, Sec. 5.1).
+ */
+
+#ifndef CMSWITCH_SIM_FUNCTIONAL_HPP
+#define CMSWITCH_SIM_FUNCTIONAL_HPP
+
+#include "arch/deha.hpp"
+#include "graph/graph.hpp"
+#include "metaop/program.hpp"
+#include "sim/reference.hpp"
+
+namespace cmswitch {
+
+/**
+ * Execute @p program over @p graph starting from @p values (inputs +
+ * weights seeded). On return every tensor of the graph has a value.
+ * panics if the program does not cover every CIM operator of the graph
+ * exactly once (per sub-operator slice).
+ */
+void functionalExecute(const Graph &graph, const MetaProgram &program,
+                       const Deha &deha, TensorValues &values);
+
+/**
+ * Convenience: seed, run reference + functional, and compare every
+ * tensor. Returns the number of mismatching tensors (0 == pass).
+ */
+s64 verifyProgram(const Graph &graph, const MetaProgram &program,
+                  const Deha &deha, u64 seed = 42);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_FUNCTIONAL_HPP

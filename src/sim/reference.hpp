@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference functional executor: runs a graph directly (no tiling, no
+ * hardware model) with deterministic int8/int32 quantised arithmetic.
+ * Plays the role PyTorch plays in the paper's functional verification:
+ * the CIM functional simulator must reproduce these values exactly.
+ */
+
+#ifndef CMSWITCH_SIM_REFERENCE_HPP
+#define CMSWITCH_SIM_REFERENCE_HPP
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Values for every tensor of a graph, int8 stored widened to s32. */
+using TensorValues = std::map<TensorId, std::vector<s32>>;
+
+/**
+ * Deterministically materialise all graph inputs / weights / kv-cache
+ * tensors from @p seed (same seed => same values everywhere).
+ */
+TensorValues seedTensors(const Graph &graph, u64 seed);
+
+/** Shared quantisation: int32 accumulator -> int8 activation. */
+s32 requantize(s64 accumulator);
+
+/**
+ * Execute every operator of @p graph in topological order, reading
+ * missing inputs from @p values and inserting every produced tensor.
+ */
+void referenceExecute(const Graph &graph, TensorValues &values);
+
+/** @{ Shared kernels (used by both the reference path and the tiled
+ *  CIM functional simulator, so results agree bit-exactly). */
+/** Execute one function-unit operator. */
+void executeFuOp(const Graph &graph, const Operator &op, TensorValues &values);
+
+/** Execute one CIM operator on the direct (untiled) path. */
+void executeCimOpDirect(const Graph &graph, const Operator &op,
+                        TensorValues &values);
+/** @} */
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_REFERENCE_HPP

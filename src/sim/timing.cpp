@@ -1,0 +1,109 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cost/cost_model.hpp"
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+double
+TimingReport::switchShare() const
+{
+    Cycles t = total();
+    if (t <= 0)
+        return 0.0;
+    return static_cast<double>(breakdown.modeSwitch)
+         / static_cast<double>(t);
+}
+
+TimingSimulator::TimingSimulator(const Deha &deha)
+    : deha_(&deha)
+{
+}
+
+TimingReport
+TimingSimulator::run(const MetaProgram &program) const
+{
+    const ChipConfig &chip = deha_->config();
+    CostModel cost(*deha_);
+    TimingReport report;
+
+    for (const SegmentRecord &seg : program.segments()) {
+        Cycles seg_switch = 0;
+        Cycles seg_rewrite = 0;
+        Cycles seg_dma = 0;
+        std::map<OpId, s64> rewrite_groups; // arrays per source operator
+        for (const MetaOp &op : seg.prologue) {
+            switch (op.kind) {
+              case MetaOpKind::kSwitch:
+                seg_switch += op.arrayCount
+                            * (op.switchTo == ArrayMode::kCompute
+                                   ? chip.switchM2cLatency
+                                   : chip.switchC2mLatency);
+                report.switchedArrays += op.arrayCount;
+                break;
+              case MetaOpKind::kLoadWeight:
+                // Eq. 2: one operator's arrays program serially (slices
+                // of an operator share its write port); distinct
+                // operators fill in parallel.
+                rewrite_groups[op.graphOp] += op.arrayCount;
+                break;
+              case MetaOpKind::kLoad:
+                seg_dma += cost.mainMemoryTransfer(op.bytes);
+                break;
+              default:
+                cmswitch_panic("unexpected op in prologue");
+            }
+        }
+        for (const auto &[op, arrays] : rewrite_groups)
+            seg_rewrite = std::max(seg_rewrite,
+                                   arrays * chip.writeArrayLatency());
+
+        // The parallel block: pipelined operators bound by the slowest,
+        // with D_main apportioned by traffic (as the compiler assumed).
+        std::vector<OpWorkload> body_work;
+        for (const MetaOp &op : seg.body)
+            if (op.kind == MetaOpKind::kCompute)
+                body_work.push_back(op.work);
+        std::vector<double> shares =
+            seg.pipelinedBody ? CostModel::dmainShares(body_work)
+                              : std::vector<double>(body_work.size(), 1.0);
+        Cycles body = 0;
+        std::size_t compute_idx = 0;
+        for (const MetaOp &op : seg.body) {
+            switch (op.kind) {
+              case MetaOpKind::kCompute: {
+                Cycles l = cost.opLatency(op.work, op.alloc,
+                                          shares[compute_idx]);
+                body = seg.pipelinedBody ? std::max(body, l) : body + l;
+                ++compute_idx;
+                break;
+              }
+              case MetaOpKind::kFuCompute:
+                body = std::max(body, cost.fixedOverhead(op.work));
+                break;
+              default:
+                cmswitch_panic("unexpected op in parallel block");
+            }
+        }
+
+        Cycles seg_store = 0;
+        for (const MetaOp &op : seg.epilogue) {
+            cmswitch_assert(op.kind == MetaOpKind::kStore,
+                            "unexpected op in epilogue");
+            seg_store += cost.mainMemoryTransfer(op.bytes);
+        }
+
+        report.breakdown.modeSwitch += seg_switch;
+        report.breakdown.rewrite += seg_rewrite;
+        report.breakdown.writeback += seg_dma + seg_store;
+        report.breakdown.intra += body;
+        report.segmentCycles.push_back(seg_switch + seg_rewrite + seg_dma
+                                       + body + seg_store);
+    }
+    return report;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Timing simulator: cycle-accounts a meta-operator program on the DEHA
+ * chip model, independently of the compiler (only the program payload
+ * and the chip configuration are consulted). The paper builds this
+ * layer on modified NeuroSim/MNSIM models; here the same per-array
+ * latency/bandwidth parameters drive an analytic cycle account.
+ */
+
+#ifndef CMSWITCH_SIM_TIMING_HPP
+#define CMSWITCH_SIM_TIMING_HPP
+
+#include <vector>
+
+#include "arch/deha.hpp"
+#include "compiler/compiler_api.hpp"
+#include "metaop/program.hpp"
+
+namespace cmswitch {
+
+/** Per-segment and aggregate timing of one program execution. */
+struct TimingReport
+{
+    LatencyBreakdown breakdown;
+    std::vector<Cycles> segmentCycles; ///< end-to-end per segment
+    s64 switchedArrays = 0;
+
+    Cycles total() const { return breakdown.total(); }
+
+    /** Share of total time spent switching modes (Sec. 5.5 metric). */
+    double switchShare() const;
+};
+
+/** Executes programs against a chip description. */
+class TimingSimulator
+{
+  public:
+    explicit TimingSimulator(const Deha &deha);
+
+    /** Price one full pass of @p program. */
+    TimingReport run(const MetaProgram &program) const;
+
+  private:
+    const Deha *deha_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_TIMING_HPP

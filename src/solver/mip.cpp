@@ -1,0 +1,138 @@
+#include "solver/mip.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** A node of the branch-and-bound tree: bound overrides per variable. */
+struct Node
+{
+    double bound;                          // LP relaxation objective
+    std::vector<std::pair<VarId, std::pair<double, double>>> tightened;
+};
+
+struct NodeOrder
+{
+    bool operator()(const Node &a, const Node &b) const
+    {
+        return a.bound > b.bound; // best (lowest) bound first
+    }
+};
+
+/** Apply a node's tightened bounds to a scratch copy of the model. */
+void
+applyBounds(LinearModel &model, const Node &node)
+{
+    for (const auto &[var, bounds] : node.tightened) {
+        model.var(var).lower = std::max(model.var(var).lower, bounds.first);
+        model.var(var).upper = std::min(model.var(var).upper, bounds.second);
+    }
+}
+
+/** Index of the most fractional integer variable, or -1 if integral. */
+VarId
+pickBranchVar(const LinearModel &model, const std::vector<double> &values,
+              double tol)
+{
+    VarId best = -1;
+    double best_frac = tol;
+    for (VarId v = 0; v < model.numVars(); ++v) {
+        if (model.var(v).type != VarType::kInteger)
+            continue;
+        double x = values[static_cast<std::size_t>(v)];
+        double frac = std::abs(x - std::round(x));
+        if (frac > best_frac) {
+            best_frac = frac;
+            best = v;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+MipResult
+solveMip(const LinearModel &model, const MipOptions &options)
+{
+    const double dir = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+    MipResult result;
+    result.status = SolveStatus::kInfeasible;
+
+    // Root relaxation.
+    LpSolution root = solveLp(model);
+    ++result.nodesExplored;
+    if (root.status == SolveStatus::kInfeasible
+        || root.status == SolveStatus::kLimit) {
+        result.status = root.status;
+        return result;
+    }
+    cmswitch_assert(root.status != SolveStatus::kUnbounded
+                        || model.objective().terms().empty(),
+                    "unbounded MIPs are not supported");
+
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    open.push(Node{dir * root.objective, {}});
+
+    bool have_incumbent = false;
+    double incumbent_obj = 0.0; // in minimisation direction
+
+    while (!open.empty() && result.nodesExplored < options.maxNodes) {
+        Node node = open.top();
+        open.pop();
+        if (have_incumbent && node.bound >= incumbent_obj - options.gapAbs)
+            continue; // bound-pruned
+
+        LinearModel scratch = model;
+        applyBounds(scratch, node);
+        LpSolution lp = solveLp(scratch);
+        ++result.nodesExplored;
+        if (lp.status != SolveStatus::kOptimal)
+            continue; // infeasible subtree
+
+        double lp_obj = dir * lp.objective;
+        if (have_incumbent && lp_obj >= incumbent_obj - options.gapAbs)
+            continue;
+
+        VarId branch = pickBranchVar(scratch, lp.values, options.intTol);
+        if (branch < 0) {
+            // Integral: new incumbent.
+            have_incumbent = true;
+            incumbent_obj = lp_obj;
+            result.status = SolveStatus::kOptimal;
+            result.objective = lp.objective;
+            result.values = lp.values;
+            // Snap near-integers exactly.
+            for (VarId v = 0; v < model.numVars(); ++v) {
+                if (model.var(v).type == VarType::kInteger) {
+                    result.values[static_cast<std::size_t>(v)] =
+                        std::round(result.values[static_cast<std::size_t>(v)]);
+                }
+            }
+            continue;
+        }
+
+        double x = lp.values[static_cast<std::size_t>(branch)];
+        Node down = node;
+        down.bound = lp_obj;
+        down.tightened.push_back(
+            {branch, {-kInfinity, std::floor(x)}});
+        Node up = node;
+        up.bound = lp_obj;
+        up.tightened.push_back(
+            {branch, {std::ceil(x), kInfinity}});
+        open.push(std::move(down));
+        open.push(std::move(up));
+    }
+
+    if (!open.empty() && !have_incumbent)
+        result.status = SolveStatus::kLimit;
+    return result;
+}
+
+} // namespace cmswitch

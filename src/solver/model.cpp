@@ -1,0 +1,112 @@
+#include "solver/model.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+LinearExpr &
+LinearExpr::add(VarId var, double coef)
+{
+    if (coef != 0.0)
+        terms_.push_back(LinearTerm{var, coef});
+    return *this;
+}
+
+LinearExpr &
+LinearExpr::addConstant(double value)
+{
+    constant_ += value;
+    return *this;
+}
+
+LinearExpr
+term(VarId var, double coef)
+{
+    LinearExpr e;
+    e.add(var, coef);
+    return e;
+}
+
+VarId
+LinearModel::addVar(const std::string &name, double lower, double upper,
+                    VarType type)
+{
+    cmswitch_assert(lower <= upper, "variable ", name, " has empty domain");
+    VarId id = static_cast<VarId>(vars_.size());
+    vars_.push_back(VarDef{name, lower, upper, type});
+    return id;
+}
+
+void
+LinearModel::addConstraint(LinearExpr expr, Rel rel, double rhs,
+                           std::string name)
+{
+    constraints_.push_back(
+        Constraint{std::move(expr), rel, rhs, std::move(name)});
+}
+
+void
+LinearModel::setObjective(LinearExpr expr, Sense sense)
+{
+    objective_ = std::move(expr);
+    sense_ = sense;
+}
+
+const VarDef &
+LinearModel::var(VarId id) const
+{
+    return vars_.at(static_cast<std::size_t>(id));
+}
+
+VarDef &
+LinearModel::var(VarId id)
+{
+    return vars_.at(static_cast<std::size_t>(id));
+}
+
+double
+LinearModel::evaluate(const LinearExpr &expr, const std::vector<double> &values)
+{
+    double total = expr.constant();
+    for (const LinearTerm &t : expr.terms())
+        total += t.coef * values.at(static_cast<std::size_t>(t.var));
+    return total;
+}
+
+bool
+LinearModel::isFeasible(const std::vector<double> &values, double tol) const
+{
+    if (values.size() != vars_.size())
+        return false;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        const VarDef &v = vars_[i];
+        if (values[i] < v.lower - tol || values[i] > v.upper + tol)
+            return false;
+        if (v.type == VarType::kInteger
+            && std::abs(values[i] - std::round(values[i])) > tol) {
+            return false;
+        }
+    }
+    for (const Constraint &c : constraints_) {
+        double lhs = evaluate(c.expr, values);
+        switch (c.rel) {
+          case Rel::kLe:
+            if (lhs > c.rhs + tol)
+                return false;
+            break;
+          case Rel::kGe:
+            if (lhs < c.rhs - tol)
+                return false;
+            break;
+          case Rel::kEq:
+            if (std::abs(lhs - c.rhs) > tol)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Declarative linear-model builder: variables, linear expressions,
+ * constraints and an objective. This is the Gurobi-shaped surface the
+ * allocator programs against; solveLp()/solveMip() consume it.
+ */
+
+#ifndef CMSWITCH_SOLVER_MODEL_HPP
+#define CMSWITCH_SOLVER_MODEL_HPP
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+using VarId = s32;
+
+enum class VarType { kContinuous, kInteger };
+enum class Sense { kMinimize, kMaximize };
+enum class Rel { kLe, kGe, kEq };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** One coefficient of a linear expression. */
+struct LinearTerm
+{
+    VarId var;
+    double coef;
+};
+
+/** A linear combination of variables plus a constant. */
+class LinearExpr
+{
+  public:
+    LinearExpr() = default;
+    /*implicit*/ LinearExpr(double constant) : constant_(constant) {}
+
+    LinearExpr &add(VarId var, double coef);
+    LinearExpr &addConstant(double value);
+
+    const std::vector<LinearTerm> &terms() const { return terms_; }
+    double constant() const { return constant_; }
+
+  private:
+    std::vector<LinearTerm> terms_;
+    double constant_ = 0.0;
+};
+
+/** var * coef convenience. */
+LinearExpr term(VarId var, double coef = 1.0);
+
+/** One linear constraint: expr REL rhs. */
+struct Constraint
+{
+    LinearExpr expr;
+    Rel rel = Rel::kLe;
+    double rhs = 0.0;
+    std::string name;
+};
+
+/** Variable record. */
+struct VarDef
+{
+    std::string name;
+    double lower = 0.0;
+    double upper = kInfinity;
+    VarType type = VarType::kContinuous;
+};
+
+/**
+ * A (mixed-integer) linear program under construction. The model owns
+ * no solver state; it is a plain description that can be solved many
+ * times (e.g. with tightened bounds during branch-and-bound).
+ */
+class LinearModel
+{
+  public:
+    VarId addVar(const std::string &name, double lower, double upper,
+                 VarType type = VarType::kContinuous);
+
+    void addConstraint(LinearExpr expr, Rel rel, double rhs,
+                       std::string name = "");
+
+    void setObjective(LinearExpr expr, Sense sense);
+
+    /** @{ Introspection for the solvers. */
+    s64 numVars() const { return static_cast<s64>(vars_.size()); }
+    s64 numConstraints() const { return static_cast<s64>(constraints_.size()); }
+    const VarDef &var(VarId id) const;
+    VarDef &var(VarId id);
+    const std::vector<VarDef> &vars() const { return vars_; }
+    const std::vector<Constraint> &constraints() const { return constraints_; }
+    const LinearExpr &objective() const { return objective_; }
+    Sense sense() const { return sense_; }
+    /** @} */
+
+    /** Evaluate @p expr at a candidate assignment. */
+    static double evaluate(const LinearExpr &expr,
+                           const std::vector<double> &values);
+
+    /** True if @p values satisfies all bounds + constraints within tol. */
+    bool isFeasible(const std::vector<double> &values,
+                    double tol = 1e-6) const;
+
+  private:
+    std::vector<VarDef> vars_;
+    std::vector<Constraint> constraints_;
+    LinearExpr objective_;
+    Sense sense_ = Sense::kMinimize;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SOLVER_MODEL_HPP

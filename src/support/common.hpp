@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Common integer typedefs and small utilities shared by every module.
+ */
+
+#ifndef CMSWITCH_SUPPORT_COMMON_HPP
+#define CMSWITCH_SUPPORT_COMMON_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace cmswitch {
+
+using s8 = std::int8_t;
+using u8 = std::uint8_t;
+using s32 = std::int32_t;
+using u32 = std::uint32_t;
+using s64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/** Cycle count used by every latency model and the timing simulator. */
+using Cycles = s64;
+
+/** Ceiling division for non-negative integers. */
+constexpr s64
+ceilDiv(s64 numerator, s64 denominator)
+{
+    return (numerator + denominator - 1) / denominator;
+}
+
+/** Sentinel for "no latency computed yet / infeasible". */
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max() / 4;
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_COMMON_HPP

@@ -1,0 +1,56 @@
+#include "support/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cmswitch {
+
+namespace {
+LogLevel g_level = LogLevel::kNormal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level != LogLevel::kQuiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(g_level) >= static_cast<int>(level))
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace cmswitch

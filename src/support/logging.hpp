@@ -1,0 +1,93 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  - an internal invariant was violated (a cmswitch bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something suspicious but recoverable happened.
+ * inform() - plain status output, gated by verbosity.
+ */
+
+#ifndef CMSWITCH_SUPPORT_LOGGING_HPP
+#define CMSWITCH_SUPPORT_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace cmswitch {
+
+/** Verbosity levels for inform(); kQuiet suppresses all status chatter. */
+enum class LogLevel { kQuiet = 0, kNormal = 1, kVerbose = 2 };
+
+/** Process-wide verbosity; defaults to kNormal. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+#define cmswitch_panic(...) \
+    ::cmswitch::detail::panicImpl(__FILE__, __LINE__, \
+                                  ::cmswitch::detail::concat(__VA_ARGS__))
+
+#define cmswitch_fatal(...) \
+    ::cmswitch::detail::fatalImpl(__FILE__, __LINE__, \
+                                  ::cmswitch::detail::concat(__VA_ARGS__))
+
+#define cmswitch_fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            ::cmswitch::detail::fatalImpl(__FILE__, __LINE__, \
+                ::cmswitch::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#define cmswitch_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cmswitch::detail::panicImpl(__FILE__, __LINE__, \
+                ::cmswitch::detail::concat("assertion '", #cond, "' failed. ", \
+                                           ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(LogLevel::kNormal, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+informVerbose(Args &&...args)
+{
+    detail::informImpl(LogLevel::kVerbose, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_LOGGING_HPP

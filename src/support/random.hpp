@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic seeded RNG used for synthetic tensors and property tests.
+ * A thin wrapper so every module draws from the same engine type and the
+ * whole repo stays reproducible run-to-run.
+ */
+
+#ifndef CMSWITCH_SUPPORT_RANDOM_HPP
+#define CMSWITCH_SUPPORT_RANDOM_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** A reproducible pseudo-random source (mt19937_64 under the hood). */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed'c1a5'5eed'c1a5ull) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    s64
+    nextInt(s64 lo, s64 hi)
+    {
+        std::uniform_int_distribution<s64> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform int8 value, full range. */
+    s8 nextInt8() { return static_cast<s8>(nextInt(-128, 127)); }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_RANDOM_HPP

@@ -1,0 +1,79 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace cmswitch {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = { "B", "KiB", "MiB", "GiB", "TiB" };
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return formatDouble(bytes, 0) + " B";
+    return formatDouble(bytes, bytes < 10 ? 2 : 1) + " " + units[unit];
+}
+
+} // namespace cmswitch

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string helpers used by serializers, parsers and table output.
+ */
+
+#ifndef CMSWITCH_SUPPORT_STRINGS_HPP
+#define CMSWITCH_SUPPORT_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmswitch {
+
+/** Split @p text on @p sep; empty fields are kept. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Join the range of strings with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts, std::string_view sep);
+
+/** Format a double with @p digits fractional digits. */
+std::string formatDouble(double value, int digits = 2);
+
+/** Render a byte count as a human-friendly string (e.g. "9.4 MiB"). */
+std::string formatBytes(double bytes);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_STRINGS_HPP

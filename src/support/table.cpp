@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int digits)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, digits));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    if (!title_.empty())
+        oss << "== " << title_ << " ==\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << row[c];
+            if (c + 1 < row.size())
+                oss << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        oss << '\n';
+        if (r == 0 && rows_.size() > 1) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            oss << std::string(total, '-') << '\n';
+        }
+    }
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace cmswitch

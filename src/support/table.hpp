@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the paper's
+ * tables and figure series in a readable, diff-friendly layout.
+ */
+
+#ifndef CMSWITCH_SUPPORT_TABLE_HPP
+#define CMSWITCH_SUPPORT_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmswitch {
+
+/**
+ * A right-ragged ASCII table. Columns are sized to their widest cell;
+ * the first row added is rendered as the header with a separator rule.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Append a header/body row; rows may have differing arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of (label, numeric...) cells. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int digits = 3);
+
+    /** Render to the stream (and return the same text). */
+    std::string render() const;
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_TABLE_HPP

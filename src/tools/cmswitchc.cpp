@@ -1,0 +1,226 @@
+/**
+ * @file
+ * cmswitchc — command-line driver for the CMSwitch compiler.
+ *
+ * Usage:
+ *   cmswitchc --model <zoo-name | file.graph> [options]
+ *
+ * Options:
+ *   --model NAME|FILE   zoo model name (vgg16, resnet18, resnet50,
+ *                       mobilenetv2, bert-base, bert-large, gpt,
+ *                       llama2-7b, opt-6.7b, opt-13b) or a path to a
+ *                       textual graph file (graph/serialize.hpp format)
+ *   --chip NAME|FILE    dynaplasia (default), prime, or a chip
+ *                       description file (arch/chip_parser.hpp format)
+ *   --compiler NAME     cmswitch (default), cim-mlc, occ, puma
+ *   --batch N           batch size for zoo models (default 1)
+ *   --seq N             sequence length for transformers (default 64)
+ *   --decode N          compile a decode step with kv length N instead
+ *                       of a prefill pass (decoder-only models)
+ *   --layers N          override transformer layer count
+ *   --optimize          run the frontend graph passes before compiling
+ *   --out FILE          write the meta-operator program to FILE
+ *   --stats             print the latency/energy breakdown only
+ *
+ * Examples:
+ *   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
+ *   cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "arch/chip_parser.hpp"
+#include "baselines/baseline.hpp"
+#include "eval/evaluation.hpp"
+#include "graph/passes.hpp"
+#include "graph/serialize.hpp"
+#include "metaop/printer.hpp"
+#include "metaop/validator.hpp"
+#include "sim/energy.hpp"
+#include "sim/timing.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+namespace {
+
+struct CliArgs
+{
+    std::string model;
+    std::string chip = "dynaplasia";
+    std::string compiler = "cmswitch";
+    s64 batch = 1;
+    s64 seq = 64;
+    s64 decodeKv = 0;
+    s64 layers = 0;
+    std::string outFile;
+    bool statsOnly = false;
+    bool optimize = false;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    cmswitch_fatal_if(!in, "cannot open ", path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+CliArgs
+parseCli(int argc, char **argv)
+{
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            cmswitch_fatal_if(i + 1 >= argc, flag, " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--model")
+            args.model = next();
+        else if (flag == "--chip")
+            args.chip = next();
+        else if (flag == "--compiler")
+            args.compiler = next();
+        else if (flag == "--batch")
+            args.batch = std::stoll(next());
+        else if (flag == "--seq")
+            args.seq = std::stoll(next());
+        else if (flag == "--decode")
+            args.decodeKv = std::stoll(next());
+        else if (flag == "--layers")
+            args.layers = std::stoll(next());
+        else if (flag == "--out")
+            args.outFile = next();
+        else if (flag == "--stats")
+            args.statsOnly = true;
+        else if (flag == "--optimize")
+            args.optimize = true;
+        else if (flag == "--help") {
+            std::cout << "see the header of src/tools/cmswitchc.cpp\n";
+            std::exit(0);
+        } else {
+            cmswitch_fatal("unknown flag '", flag, "'");
+        }
+    }
+    cmswitch_fatal_if(args.model.empty(), "--model is required");
+    return args;
+}
+
+ChipConfig
+resolveChip(const std::string &name)
+{
+    if (name == "dynaplasia")
+        return ChipConfig::dynaplasia();
+    if (name == "prime")
+        return ChipConfig::prime();
+    if (fileExists(name))
+        return parseChipConfig(readFile(name));
+    cmswitch_fatal("unknown chip '", name, "' (not a preset, not a file)");
+}
+
+std::unique_ptr<Compiler>
+resolveCompiler(const std::string &name, const ChipConfig &chip)
+{
+    if (name == "cmswitch")
+        return makeCmSwitchCompiler(chip);
+    if (name == "cim-mlc")
+        return makeCimMlcCompiler(chip);
+    if (name == "occ")
+        return makeOccCompiler(chip);
+    if (name == "puma")
+        return makePumaCompiler(chip);
+    cmswitch_fatal("unknown compiler '", name, "'");
+}
+
+Graph
+resolveModel(const CliArgs &args)
+{
+    if (fileExists(args.model))
+        return parseGraph(readFile(args.model));
+    if (args.decodeKv > 0) {
+        TransformerConfig cfg = transformerConfigByName(args.model);
+        if (args.layers > 0)
+            cfg.layers = args.layers;
+        return buildTransformerDecodeStep(cfg, args.batch, args.decodeKv);
+    }
+    if (args.model == "vgg16" || args.model == "resnet18"
+        || args.model == "resnet50" || args.model == "mobilenetv2") {
+        return buildModelByName(args.model, args.batch);
+    }
+    TransformerConfig cfg = transformerConfigByName(args.model);
+    if (args.layers > 0)
+        cfg.layers = args.layers;
+    return buildTransformerPrefill(cfg, args.batch, args.seq);
+}
+
+} // namespace
+
+int
+cliMain(int argc, char **argv)
+{
+    CliArgs args = parseCli(argc, argv);
+    ChipConfig chip = resolveChip(args.chip);
+    Graph model = resolveModel(args);
+    if (args.optimize) {
+        PassStats stats = runFrontendPasses(&model);
+        std::cerr << "cmswitchc: frontend passes removed "
+                  << stats.removedOps << " op(s)\n";
+    }
+    auto compiler = resolveCompiler(args.compiler, chip);
+
+    CompileResult result = compiler->compile(model);
+
+    Deha deha(chip);
+    ValidationReport report = validateProgram(result.program, deha);
+    cmswitch_fatal_if(!report.ok(), "generated program failed validation:\n",
+                      report.summary());
+
+    std::cerr << "cmswitchc: " << model.name() << " -> "
+              << result.numSegments() << " segments, "
+              << result.totalCycles() << " cycles (intra "
+              << result.latency.intra << ", write-back "
+              << result.latency.writeback << ", switch "
+              << result.latency.modeSwitch << ", rewrite "
+              << result.latency.rewrite << "), memory-array ratio "
+              << formatDouble(result.avgMemoryArrayRatio(), 3)
+              << ", compiled in "
+              << formatDouble(result.compileSeconds, 3) << "s\n";
+
+    EnergyModel energy(deha, EnergyParams::dynaplasia());
+    EnergyReport joules = energy.price(result.program, result.totalCycles());
+    std::cerr << "cmswitchc: estimated energy "
+              << formatDouble(joules.totalUj(), 2) << " uJ\n";
+
+    if (!args.statsOnly) {
+        std::string text = printProgram(result.program);
+        if (args.outFile.empty()) {
+            std::cout << text;
+        } else {
+            std::ofstream out(args.outFile);
+            cmswitch_fatal_if(!out, "cannot write ", args.outFile);
+            out << text;
+            std::cerr << "cmswitchc: program written to " << args.outFile
+                      << "\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace cmswitch
+
+int
+main(int argc, char **argv)
+{
+    return cmswitch::cliMain(argc, argv);
+}

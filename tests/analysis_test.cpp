@@ -1,0 +1,166 @@
+/** @file Unit tests for workload analysis (MACs / traffic / AI). */
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Analysis, MatMulProfile)
+{
+    Graph g("mm");
+    TensorId x = g.addTensor("x", Shape{4, 64}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId w = g.addTensor("w", Shape{64, 32}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{4, 32});
+    Operator mm;
+    mm.name = "mm";
+    mm.kind = OpKind::kMatMul;
+    mm.inputs = {x, w};
+    mm.outputs = {y};
+    OpId id = g.addOp(mm);
+
+    OpProfile p = profileOp(g, id);
+    EXPECT_EQ(p.macs, 4 * 64 * 32);
+    EXPECT_EQ(p.weightBytes, 64 * 32);
+    EXPECT_EQ(p.inputBytes, 4 * 64);
+    EXPECT_EQ(p.outputBytes, 4 * 32);
+    EXPECT_EQ(p.weightRows, 64);
+    EXPECT_EQ(p.weightCols, 32);
+    EXPECT_EQ(p.weightCopies, 1);
+    double ai = static_cast<double>(p.macs)
+              / static_cast<double>(p.trafficBytes());
+    EXPECT_DOUBLE_EQ(p.aiMacsPerByte(), ai);
+    EXPECT_DOUBLE_EQ(p.aiFlopsPerByte(), 2.0 * ai);
+}
+
+TEST(Analysis, DynMatMulCountsCopies)
+{
+    Graph g("attn");
+    // 2 heads: Q [2, 4, 8] x K^T [2, 8, 4].
+    TensorId q = g.addTensor("q", Shape{2, 4, 8});
+    TensorId kt = g.addTensor("kt", Shape{2, 8, 4});
+    TensorId s = g.addTensor("s", Shape{2, 4, 4});
+    // Provide producers so profile sees activations; keep them inputs.
+    g.tensor(q).kind = TensorKind::kInput;
+    g.tensor(kt).kind = TensorKind::kInput;
+    Operator mm;
+    mm.name = "qkT";
+    mm.kind = OpKind::kDynMatMul;
+    mm.inputs = {q, kt};
+    mm.outputs = {s};
+    OpId id = g.addOp(mm);
+
+    OpProfile p = profileOp(g, id);
+    EXPECT_EQ(p.macs, 2 * 4 * 4 * 8);
+    EXPECT_EQ(p.weightCopies, 2);
+    EXPECT_EQ(p.weightRows, 8);
+    EXPECT_EQ(p.weightCols, 4);
+}
+
+TEST(Analysis, ConvProfile)
+{
+    Graph g("conv");
+    TensorId x = g.addTensor("x", Shape{1, 8, 16, 16}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId w = g.addTensor("w", Shape{16, 8, 3, 3}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{1, 16, 16, 16});
+    Operator conv;
+    conv.name = "conv";
+    conv.kind = OpKind::kConv2d;
+    conv.conv = ConvAttrs{3, 3, 1, 1, 1, 1, 1};
+    conv.inputs = {x, w};
+    conv.outputs = {y};
+    OpId id = g.addOp(conv);
+
+    OpProfile p = profileOp(g, id);
+    EXPECT_EQ(p.macs, 16LL * 16 * 16 * 8 * 3 * 3);
+    EXPECT_EQ(p.weightRows, 8 * 3 * 3);
+    EXPECT_EQ(p.weightCols, 16);
+    EXPECT_EQ(p.weightBytes, 16 * 8 * 3 * 3);
+}
+
+TEST(Analysis, FuOpHasNoMacs)
+{
+    Graph g = testing::chainMlp(1);
+    TensorId y = g.op(0).outputs[0];
+    TensorId z = g.addTensor("z", Shape{2, 32});
+    Operator relu;
+    relu.name = "relu";
+    relu.kind = OpKind::kActivation;
+    relu.activationName = "relu";
+    relu.inputs = {y};
+    relu.outputs = {z};
+    OpId id = g.addOp(relu);
+
+    OpProfile p = profileOp(g, id);
+    EXPECT_EQ(p.macs, 0);
+    EXPECT_EQ(p.vectorElems, 2 * 32);
+}
+
+TEST(Analysis, DecodeAiMuchLowerThanPrefill)
+{
+    TransformerConfig cfg = TransformerConfig::llama2_7b();
+    cfg.layers = 2; // keep the test snappy
+    Graph prefill = buildTransformerPrefill(cfg, 1, 256);
+    Graph decode = buildTransformerDecodeStep(cfg, 1, 256);
+    double ai_prefill = profileGraph(prefill).aiFlopsPerByte();
+    double ai_decode = profileGraph(decode).aiFlopsPerByte();
+    EXPECT_GT(ai_prefill, 10.0 * ai_decode);
+    // The paper quotes AI ~= 2 FLOPs/byte for single-batch decode.
+    EXPECT_LT(ai_decode, 4.0);
+    EXPECT_GT(ai_decode, 0.5);
+}
+
+TEST(Analysis, ResNetAiInPaperRange)
+{
+    Graph resnet = buildResNet50(1);
+    double ai = profileGraph(resnet).aiFlopsPerByte();
+    // Fig. 5(c): ResNet-50 average AI around 66 FLOPs/MOP.
+    EXPECT_GT(ai, 30.0);
+    EXPECT_LT(ai, 150.0);
+}
+
+TEST(Analysis, ClassBreakdownCoversAttention)
+{
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 1;
+    Graph g = buildTransformerPrefill(cfg, 1, 64);
+    auto classes = profileByClass(g);
+    bool saw_qkv = false, saw_ffn = false, saw_score = false;
+    for (const ClassProfile &c : classes) {
+        if (c.cls == OpClass::kMhaQkvProj)
+            saw_qkv = c.macs > 0;
+        if (c.cls == OpClass::kFfn)
+            saw_ffn = c.macs > 0;
+        if (c.cls == OpClass::kAttnScore)
+            saw_score = c.macs > 0;
+    }
+    EXPECT_TRUE(saw_qkv);
+    EXPECT_TRUE(saw_ffn);
+    EXPECT_TRUE(saw_score);
+}
+
+TEST(Analysis, FfnAiGrowsWithSequenceLength)
+{
+    // Fig. 6(b): FC-class arithmetic intensity rises with seq length.
+    TransformerConfig cfg = TransformerConfig::bertLarge();
+    cfg.layers = 1;
+    auto ffn_ai = [&](s64 seq) {
+        Graph g = buildTransformerPrefill(cfg, 1, seq);
+        for (const ClassProfile &c : profileByClass(g))
+            if (c.cls == OpClass::kFfn)
+                return c.aiFlopsPerByte();
+        return 0.0;
+    };
+    EXPECT_LT(ffn_ai(128), ffn_ai(512));
+    EXPECT_LT(ffn_ai(512), ffn_ai(2048));
+}
+
+} // namespace
+} // namespace cmswitch

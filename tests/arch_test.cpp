@@ -1,0 +1,125 @@
+/** @file Unit tests for the DEHA hardware abstraction. */
+
+#include <gtest/gtest.h>
+
+#include "arch/deha.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(ChipConfig, DynaplasiaMatchesTable2)
+{
+    ChipConfig c = ChipConfig::dynaplasia();
+    EXPECT_EQ(c.numSwitchArrays, 96);
+    EXPECT_EQ(c.arrayRows, 320);
+    EXPECT_EQ(c.arrayCols, 320);
+    EXPECT_EQ(c.bufferBytes, 10 * 1024 * 8);
+    EXPECT_EQ(c.switchC2mLatency, 1);
+    EXPECT_EQ(c.switchM2cLatency, 1);
+    EXPECT_EQ(c.arrayWeightBytes(), 320 * 320);
+    c.validate(); // must not exit
+}
+
+TEST(ChipConfig, PrimeHasCostlyWrites)
+{
+    ChipConfig prime = ChipConfig::prime();
+    ChipConfig dyna = ChipConfig::dynaplasia();
+    EXPECT_GT(prime.writeArrayLatency(), 10 * dyna.writeArrayLatency());
+    EXPECT_GT(prime.arrayWeightBytes(), dyna.arrayWeightBytes());
+    prime.validate();
+}
+
+TEST(ChipConfigDeath, RejectsNonPhysical)
+{
+    ChipConfig c = ChipConfig::dynaplasia();
+    c.numSwitchArrays = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(Deha, WeightTiles)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    EXPECT_EQ(deha.weightTiles(320, 320), 1);
+    EXPECT_EQ(deha.weightTiles(321, 320), 2);
+    EXPECT_EQ(deha.weightTiles(640, 640), 4);
+    EXPECT_EQ(deha.weightTiles(64, 64, 8), 8); // one tile per copy
+}
+
+TEST(Deha, UtilizationBounds)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    EXPECT_DOUBLE_EQ(deha.tileUtilization(320, 320), 1.0);
+    double u = deha.tileUtilization(321, 1);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+}
+
+TEST(Deha, SwitchAccounting)
+{
+    Deha deha(testing::tinyChip(8));
+    // Chip fully compute; plan wants 3 memory arrays.
+    SwitchDelta d = deha.switchesBetween(8, ModePlan{5, 3});
+    EXPECT_EQ(d.computeToMem, 3);
+    EXPECT_EQ(d.memToCompute, 0);
+    s64 phys = deha.applySwitches(8, d);
+    EXPECT_EQ(phys, 5);
+
+    // Now go compute-heavy again.
+    d = deha.switchesBetween(phys, ModePlan{7, 1});
+    EXPECT_EQ(d.memToCompute, 2);
+    EXPECT_EQ(d.computeToMem, 0);
+    phys = deha.applySwitches(phys, d);
+    EXPECT_EQ(phys, 7);
+
+    // A plan already satisfied costs nothing.
+    d = deha.switchesBetween(phys, ModePlan{6, 1});
+    EXPECT_EQ(d.memToCompute + d.computeToMem, 0);
+}
+
+TEST(Deha, SwitchLatencyIsEq1)
+{
+    ChipConfig c = testing::tinyChip(8);
+    c.switchC2mLatency = 3;
+    c.switchM2cLatency = 5;
+    Deha deha(c);
+    Cycles l = deha.switchLatency(SwitchDelta{2, 4});
+    EXPECT_EQ(l, 2 * 5 + 4 * 3);
+}
+
+TEST(Deha, DescribeListsFig8Fields)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    std::string text = deha.describe();
+    EXPECT_NE(text.find("#_switch_array"), std::string::npos);
+    EXPECT_NE(text.find("array_size"), std::string::npos);
+    EXPECT_NE(text.find("L_c2m"), std::string::npos);
+    EXPECT_NE(text.find("Methd"), std::string::npos);
+}
+
+/** Property: switching never over- or under-shoots the plan. */
+class SwitchProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SwitchProperty, PhysicalStateAlwaysCoversPlan)
+{
+    Rng rng(static_cast<u64>(GetParam()));
+    Deha deha(testing::tinyChip(12));
+    s64 phys = 12;
+    for (int step = 0; step < 50; ++step) {
+        s64 c = rng.nextInt(0, 12);
+        s64 m = rng.nextInt(0, 12 - c);
+        ModePlan plan{c, m};
+        SwitchDelta d = deha.switchesBetween(phys, plan);
+        phys = deha.applySwitches(phys, d);
+        EXPECT_GE(phys, plan.computeArrays);
+        EXPECT_GE(12 - phys, plan.memoryArrays);
+        EXPECT_FALSE(d.memToCompute > 0 && d.computeToMem > 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchProperty, ::testing::Range(0, 10));
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,120 @@
+/** @file Baseline compiler behaviour and relative-performance checks. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "eval/evaluation.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Baselines, NamesAndOrder)
+{
+    auto compilers = makeAllCompilers(ChipConfig::dynaplasia());
+    ASSERT_EQ(compilers.size(), 4u);
+    EXPECT_EQ(compilers[0]->name(), "puma");
+    EXPECT_EQ(compilers[1]->name(), "occ");
+    EXPECT_EQ(compilers[2]->name(), "cim-mlc");
+    EXPECT_EQ(compilers[3]->name(), "cmswitch");
+}
+
+TEST(Baselines, FixedModeCompilersNeverUseMemoryArrays)
+{
+    Graph g = buildResNet18(1);
+    for (auto &compiler : makeAllCompilers(ChipConfig::dynaplasia())) {
+        if (compiler->name() == "cmswitch")
+            continue;
+        CompileResult r = compiler->compile(g);
+        EXPECT_DOUBLE_EQ(r.avgMemoryArrayRatio(), 0.0) << compiler->name();
+        EXPECT_EQ(r.latency.modeSwitch, 0) << compiler->name();
+    }
+}
+
+TEST(Baselines, CmSwitchUsesMemoryModeOnDecode)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    CompileResult r = compiler.compile(buildTransformerDecodeStep(cfg, 1, 256));
+    EXPECT_GT(r.avgMemoryArrayRatio(), 0.02);
+}
+
+TEST(Baselines, CimMlcBeatsSerialBaselinesOnCnn)
+{
+    // Pipelining + duplication should not lose to serial scheduling.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto compilers = makeAllCompilers(chip);
+    Graph g = buildMobileNetV2(1);
+    Cycles puma = compilers[0]->compile(g).totalCycles();
+    Cycles occ = compilers[1]->compile(g).totalCycles();
+    Cycles mlc = compilers[2]->compile(g).totalCycles();
+    EXPECT_LE(mlc, puma);
+    EXPECT_LE(mlc, occ);
+}
+
+TEST(Baselines, CmSwitchNeverLosesToCimMlc)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto cmswitch = makeCmSwitchCompiler(chip);
+    auto mlc = makeCimMlcCompiler(chip);
+
+    TransformerConfig small = TransformerConfig::bertBase();
+    small.layers = 2;
+    const Graph graphs[] = {
+        buildMobileNetV2(1),
+        buildResNet18(1),
+        buildTransformerPrefill(small, 1, 64),
+    };
+    for (const Graph &g : graphs) {
+        Cycles ours = cmswitch->compile(g).totalCycles();
+        Cycles theirs = mlc->compile(g).totalCycles();
+        EXPECT_LE(ours, theirs) << g.name();
+    }
+}
+
+TEST(Baselines, DualModeWinsBigOnDecode)
+{
+    // The headline effect: decode-phase LLM inference favours memory
+    // mode, which fixed-mode compilers cannot provide (paper Sec. 5.2).
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto cmswitch = makeCmSwitchCompiler(chip);
+    auto mlc = makeCimMlcCompiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    Graph step = buildTransformerDecodeStep(cfg, 1, 512);
+    Cycles ours = cmswitch->compile(step).totalCycles();
+    Cycles theirs = mlc->compile(step).totalCycles();
+    EXPECT_LT(static_cast<double>(ours), 0.95 * static_cast<double>(theirs));
+}
+
+TEST(Baselines, EvaluateBenchmarkRunsEveryEntry)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto compiler = makeCmSwitchCompiler(chip);
+    for (const ZooEntry &entry : fig14Benchmarks()) {
+        if (entry.name == "llama2-7b" || entry.name == "opt-13b")
+            continue; // exercised by the benches; too slow for unit tests
+        EndToEndResult r = evaluateBenchmark(*compiler, entry.name, 1, 32);
+        EXPECT_GT(r.totalCycles(), 0) << entry.name;
+        EXPECT_GT(r.segments, 0) << entry.name;
+    }
+}
+
+TEST(Baselines, GenerativeEvaluationIntegratesDecode)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto compiler = makeCmSwitchCompiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    EndToEndResult r = evaluateGenerative(*compiler, cfg, 1, 32, 64, 2);
+    EXPECT_GT(r.prefillCycles, 0);
+    EXPECT_GT(r.decodeCycles, 0);
+    // Decode dominates for long outputs on weight-streaming models.
+    EXPECT_GT(r.decodeCycles, r.prefillCycles);
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,78 @@
+/** @file Tests for the text chip-description parser. */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip_parser.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(ChipParser, ParsesMinimalConfig)
+{
+    ChipConfig c = parseChipConfig(R"(
+        # my edge chip
+        name = edge-cim
+        num_switch_arrays = 32
+        array_rows = 128
+        array_cols = 128
+        extern_bw = 12.5
+        op_per_cycle = 32
+    )");
+    EXPECT_EQ(c.name, "edge-cim");
+    EXPECT_EQ(c.numSwitchArrays, 32);
+    EXPECT_EQ(c.arrayRows, 128);
+    EXPECT_DOUBLE_EQ(c.externBw, 12.5);
+    EXPECT_DOUBLE_EQ(c.opPerCycle, 32.0);
+    // Untouched keys keep the Dynaplasia defaults.
+    EXPECT_EQ(c.switchC2mLatency, 1);
+}
+
+TEST(ChipParser, RoundTripsEveryField)
+{
+    ChipConfig original = ChipConfig::prime();
+    original.fuOpsPerCycle = 48.0;
+    original.bufferBytes = 12345;
+    ChipConfig back = parseChipConfig(serializeChipConfig(original));
+    EXPECT_EQ(back.name, original.name);
+    EXPECT_EQ(back.numSwitchArrays, original.numSwitchArrays);
+    EXPECT_EQ(back.arrayRows, original.arrayRows);
+    EXPECT_EQ(back.arrayCols, original.arrayCols);
+    EXPECT_EQ(back.bufferBytes, original.bufferBytes);
+    EXPECT_DOUBLE_EQ(back.internalBwPerArray, original.internalBwPerArray);
+    EXPECT_DOUBLE_EQ(back.externBw, original.externBw);
+    EXPECT_DOUBLE_EQ(back.bufferBw, original.bufferBw);
+    EXPECT_DOUBLE_EQ(back.opPerCycle, original.opPerCycle);
+    EXPECT_EQ(back.switchMethod, original.switchMethod);
+    EXPECT_EQ(back.switchC2mLatency, original.switchC2mLatency);
+    EXPECT_EQ(back.switchM2cLatency, original.switchM2cLatency);
+    EXPECT_EQ(back.writeRowLatency, original.writeRowLatency);
+    EXPECT_EQ(back.readRowLatency, original.readRowLatency);
+    EXPECT_DOUBLE_EQ(back.fuOpsPerCycle, original.fuOpsPerCycle);
+}
+
+TEST(ChipParser, CommentsAndBlanksIgnored)
+{
+    ChipConfig c = parseChipConfig("\n# comment only\n\n");
+    EXPECT_EQ(c.name, ChipConfig().name);
+}
+
+TEST(ChipParserDeath, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parseChipConfig("bogus_key = 1"),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ChipParserDeath, MissingEqualsIsFatal)
+{
+    EXPECT_EXIT(parseChipConfig("just words"),
+                ::testing::ExitedWithCode(1), "expected key = value");
+}
+
+TEST(ChipParserDeath, NonPhysicalConfigIsFatal)
+{
+    EXPECT_EXIT(parseChipConfig("num_switch_arrays = 0"),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+} // namespace
+} // namespace cmswitch

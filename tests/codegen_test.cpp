@@ -1,0 +1,102 @@
+/** @file End-to-end compiler -> program structural tests. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "compiler/cmswitch_compiler.hpp"
+#include "metaop/printer.hpp"
+#include "metaop/validator.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Codegen, TinyMlpProgramValidates)
+{
+    CmSwitchCompiler compiler(testing::tinyChip(8));
+    Graph g = buildTinyMlp(2, 16, 32, 8);
+    CompileResult r = compiler.compile(g);
+    ASSERT_GE(r.numSegments(), 1);
+
+    ValidationReport report = validateProgram(r.program, compiler.deha());
+    EXPECT_TRUE(report.ok()) << report.summary()
+                             << printProgram(r.program);
+}
+
+TEST(Codegen, ProgramsValidateAcrossCompilers)
+{
+    Graph g = buildResNet18(1);
+    for (auto &compiler : makeAllCompilers(ChipConfig::dynaplasia())) {
+        CompileResult r = compiler->compile(g);
+        Deha deha(ChipConfig::dynaplasia());
+        ValidationReport report = validateProgram(r.program, deha);
+        EXPECT_TRUE(report.ok()) << compiler->name() << ": "
+                                 << report.summary();
+    }
+}
+
+TEST(Codegen, SwitchPrologueMatchesPlanDeltas)
+{
+    CmSwitchCompiler compiler(testing::tinyChip(8));
+    Graph g = testing::chainMlp(4);
+    CompileResult r = compiler.compile(g);
+
+    Deha deha(testing::tinyChip(8));
+    s64 phys = deha.config().numSwitchArrays;
+    for (const SegmentRecord &seg : r.program.segments()) {
+        SwitchDelta expected = deha.switchesBetween(phys, seg.plan);
+        s64 toc = 0, tom = 0;
+        for (const MetaOp &op : seg.prologue) {
+            if (op.kind != MetaOpKind::kSwitch)
+                continue;
+            (op.switchTo == ArrayMode::kCompute ? toc : tom) += op.arrayCount;
+        }
+        EXPECT_EQ(toc, expected.memToCompute);
+        EXPECT_EQ(tom, expected.computeToMem);
+        phys = deha.applySwitches(phys, expected);
+    }
+}
+
+TEST(Codegen, WeightLoadsCoverStaticOps)
+{
+    CmSwitchCompiler compiler(testing::tinyChip(8));
+    Graph g = buildTinyMlp(1, 16, 32, 16);
+    CompileResult r = compiler.compile(g);
+    s64 loads = 0;
+    s64 computes = 0;
+    for (const SegmentRecord &seg : r.program.segments()) {
+        for (const MetaOp &op : seg.prologue)
+            if (op.kind == MetaOpKind::kLoadWeight)
+                ++loads;
+        for (const MetaOp &op : seg.body)
+            if (op.kind == MetaOpKind::kCompute
+                && !op.work.dynamicWeights) {
+                ++computes;
+            }
+    }
+    EXPECT_EQ(loads, computes);
+}
+
+TEST(Codegen, CompileResultReportsSeconds)
+{
+    CmSwitchCompiler compiler(testing::tinyChip(8));
+    Graph g = testing::chainMlp(3);
+    CompileResult r = compiler.compile(g);
+    EXPECT_GT(r.compileSeconds, 0.0);
+    EXPECT_LT(r.compileSeconds, 60.0);
+}
+
+TEST(Codegen, PrintedProgramShowsParallelBlocks)
+{
+    CmSwitchCompiler compiler(testing::tinyChip(8));
+    Graph g = testing::chainMlp(2);
+    CompileResult r = compiler.compile(g);
+    std::string text = printProgram(r.program);
+    EXPECT_NE(text.find("parallel {"), std::string::npos);
+    EXPECT_NE(text.find("CIM.compute"), std::string::npos);
+    EXPECT_NE(text.find("MEM.load_weight"), std::string::npos);
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,142 @@
+/** @file End-to-end compiler properties across models and chips. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "eval/evaluation.hpp"
+#include "metaop/validator.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(E2e, MemoryRatioHigherOnDecodeThanCnn)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    double decode_ratio =
+        compiler.compile(buildTransformerDecodeStep(cfg, 1, 512))
+            .avgMemoryArrayRatio();
+    double cnn_ratio =
+        compiler.compile(buildResNet18(1)).avgMemoryArrayRatio();
+    EXPECT_GT(decode_ratio, cnn_ratio);
+}
+
+TEST(E2e, BertMemoryRatioShrinksWithSequenceLength)
+{
+    // Fig. 16 bottom row: longer sequences raise arithmetic intensity,
+    // pushing arrays toward compute mode.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::bertLarge();
+    cfg.layers = 2;
+    double r64 =
+        compiler.compile(buildTransformerPrefill(cfg, 1, 64))
+            .avgMemoryArrayRatio();
+    double r1024 =
+        compiler.compile(buildTransformerPrefill(cfg, 1, 1024))
+            .avgMemoryArrayRatio();
+    EXPECT_GE(r64, r1024);
+}
+
+TEST(E2e, SpeedupShrinksAsSequenceGrows)
+{
+    // Fig. 16: CMSwitch's edge over CIM-MLC narrows for long sequences.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto ours = makeCmSwitchCompiler(chip);
+    auto mlc = makeCimMlcCompiler(chip);
+    TransformerConfig cfg = TransformerConfig::bertLarge();
+    cfg.layers = 2;
+
+    auto speedup = [&](s64 seq) {
+        Graph g = buildTransformerPrefill(cfg, 1, seq);
+        double a = static_cast<double>(mlc->compile(g).totalCycles());
+        double b = static_cast<double>(ours->compile(g).totalCycles());
+        return a / b;
+    };
+    double s32 = speedup(32);
+    double s1024 = speedup(1024);
+    EXPECT_GE(s32, 1.0 - 1e-9);
+    EXPECT_GE(s1024, 1.0 - 1e-9);
+    EXPECT_GE(s32, s1024 - 0.05);
+}
+
+TEST(E2e, PrimeChipAlsoCompiles)
+{
+    // Sec. 5.5 scalability: the same flow retargets to PRIME.
+    ChipConfig prime = ChipConfig::prime();
+    auto ours = makeCmSwitchCompiler(prime);
+    auto mlc = makeCimMlcCompiler(prime);
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 2;
+    Graph g = buildTransformerPrefill(cfg, 1, 64);
+    CompileResult a = ours->compile(g);
+    CompileResult b = mlc->compile(g);
+    EXPECT_GT(a.totalCycles(), 0);
+    EXPECT_LE(a.totalCycles(), b.totalCycles());
+    Deha deha(prime);
+    EXPECT_TRUE(validateProgram(a.program, deha).ok());
+}
+
+TEST(E2e, BatchScalingMonotone)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    Cycles b1 = compiler.compile(buildMobileNetV2(1)).totalCycles();
+    Cycles b4 = compiler.compile(buildMobileNetV2(4)).totalCycles();
+    EXPECT_GT(b4, b1); // more work cannot be faster
+    EXPECT_LT(b4, 8 * b1); // batching amortises weight loads
+}
+
+TEST(E2e, SwitchOverheadShareInPaperRange)
+{
+    // Sec. 5.5: Eq. 1 switching cost is a negligible slice; the paper
+    // attributes 3-5% to the whole switching *process* (store +
+    // switch + reload), which we bound loosely here.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    CompileResult r =
+        compiler.compile(buildTransformerDecodeStep(cfg, 2, 256));
+    double process_share =
+        static_cast<double>(r.latency.modeSwitch + r.latency.writeback)
+        / static_cast<double>(r.totalCycles());
+    EXPECT_LT(process_share, 0.35);
+    double switch_share = static_cast<double>(r.latency.modeSwitch)
+                        / static_cast<double>(r.totalCycles());
+    EXPECT_LT(switch_share, 0.02);
+}
+
+/** Property sweep: CMSwitch >= CIM-MLC on every (model, batch) pair. */
+class NeverWorse
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(NeverWorse, AgainstCimMlc)
+{
+    auto [name, batch] = GetParam();
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto ours = makeCmSwitchCompiler(chip);
+    auto mlc = makeCimMlcCompiler(chip);
+
+    Graph g = buildModelByName(name, batch, 32);
+    Cycles a = ours->compile(g).totalCycles();
+    Cycles b = mlc->compile(g).totalCycles();
+    EXPECT_LE(a, b) << name << " batch " << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndBatches, NeverWorse,
+    ::testing::Combine(::testing::Values(std::string("mobilenetv2"),
+                                         std::string("resnet18"),
+                                         std::string("bert-base")),
+                       ::testing::Values(1, 4)));
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,207 @@
+/** @file Unit tests for the Eq. 10 latency model and segment costs. */
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+OpWorkload
+simpleWorkload(const ChipConfig &chip, s64 tiles, double ai, s64 rows = 1000)
+{
+    OpWorkload w;
+    w.name = "w";
+    w.weightTiles = tiles;
+    w.utilization = 1.0;
+    w.movingRows = rows;
+    w.weightBytes = tiles * chip.arrayRows * chip.arrayCols;
+    w.macs = w.weightBytes * rows;
+    w.aiMacsPerByte = ai;
+    // Back out traffic so maxUsefulMemoryArrays is generous.
+    w.inputBytes = static_cast<s64>(static_cast<double>(w.macs) / ai);
+    w.outputBytes = 0;
+    return w;
+}
+
+TEST(CostModel, InfeasibleWithoutWeightTiles)
+{
+    Deha deha(testing::tinyChip());
+    CostModel cost(deha);
+    OpWorkload w = simpleWorkload(deha.config(), 4, 10.0);
+    EXPECT_EQ(cost.opLatency(w, OpAllocation{3, 0, 0}), kInfCycles);
+    EXPECT_LT(cost.opLatency(w, OpAllocation{4, 0, 0}), kInfCycles);
+}
+
+TEST(CostModel, ComputeBoundScalesWithDuplication)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    // Huge AI => memory side never binds.
+    OpWorkload w = simpleWorkload(deha.config(), 2, 1e9);
+    Cycles l1 = cost.opLatency(w, OpAllocation{2, 0, 0});
+    Cycles l2 = cost.opLatency(w, OpAllocation{4, 0, 0});
+    EXPECT_NEAR(static_cast<double>(l1),
+                2.0 * static_cast<double>(l2), 2.0);
+}
+
+TEST(CostModel, DuplicationCappedByMovingRows)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    OpWorkload w = simpleWorkload(deha.config(), 2, 1e9, /*rows=*/1);
+    // A single moving row cannot be split across copies.
+    Cycles l1 = cost.opLatency(w, OpAllocation{2, 0, 0});
+    Cycles l2 = cost.opLatency(w, OpAllocation{8, 0, 0});
+    EXPECT_EQ(l1, l2);
+    EXPECT_EQ(cost.maxUsefulComputeArrays(w), 2);
+}
+
+TEST(CostModel, MemoryArraysRaiseBandwidth)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    // Low AI => memory side binds.
+    OpWorkload w = simpleWorkload(deha.config(), 2, 0.5);
+    Cycles l0 = cost.opLatency(w, OpAllocation{2, 0, 0});
+    Cycles l4 = cost.opLatency(w, OpAllocation{2, 2, 2});
+    EXPECT_LT(l4, l0);
+    // Monotone non-increasing in memory arrays.
+    Cycles prev = l0;
+    for (s64 m = 1; m <= 8; ++m) {
+        Cycles l = cost.opLatency(w, OpAllocation{2, m, 0});
+        EXPECT_LE(l, prev);
+        prev = l;
+    }
+}
+
+TEST(CostModel, MemoryBenefitSaturatesAtDataFootprint)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    OpWorkload w = simpleWorkload(deha.config(), 1, 0.5);
+    w.inputBytes = deha.config().arrayMemoryBytes(); // exactly one array
+    w.outputBytes = 0;
+    w.weightBytes = 0; // keep total traffic at one array's worth
+    w.macs = static_cast<s64>(w.inputBytes * 0.5);
+    s64 cap = cost.maxUsefulMemoryArrays(w);
+    EXPECT_EQ(cap, 1);
+    Cycles at_cap = cost.opLatency(w, OpAllocation{1, cap, 0});
+    Cycles beyond = cost.opLatency(w, OpAllocation{1, cap + 5, 0});
+    EXPECT_EQ(at_cap, beyond);
+}
+
+TEST(CostModel, FixedOverheadCoversDynamicWeightsAndFu)
+{
+    Deha deha(testing::tinyChip());
+    CostModel cost(deha);
+    OpWorkload w = simpleWorkload(deha.config(), 1, 10.0);
+    EXPECT_EQ(cost.fixedOverhead(w), 0);
+    w.dynamicWeights = true;
+    Cycles dyn = cost.fixedOverhead(w);
+    EXPECT_GT(dyn, 0);
+    w.vectorElems = 160; // 16 elems/cycle on the tiny chip
+    EXPECT_EQ(cost.fixedOverhead(w), dyn + 10);
+}
+
+TEST(CostModel, SegmentLatencyIsPipelineMax)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    std::vector<OpWorkload> ws = {simpleWorkload(deha.config(), 1, 1e9),
+                                  simpleWorkload(deha.config(), 2, 1e9)};
+    std::vector<OpAllocation> as = {OpAllocation{1, 0, 0},
+                                    OpAllocation{2, 0, 0}};
+    Cycles seg = cost.segmentLatency(ws, as);
+    Cycles worst = std::max(cost.opLatency(ws[0], as[0]),
+                            cost.opLatency(ws[1], as[1]));
+    EXPECT_EQ(seg, worst);
+}
+
+TEST(CostModel, RewriteFollowsEq2)
+{
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    std::vector<OpWorkload> ws = {simpleWorkload(deha.config(), 1, 10.0),
+                                  simpleWorkload(deha.config(), 3, 10.0)};
+    ws[0].opId = 0;
+    ws[1].opId = 1;
+    std::vector<OpAllocation> as = {OpAllocation{2, 0, 0},
+                                    OpAllocation{3, 0, 0}};
+    Cycles rw = cost.weightRewriteLatency(ws, as);
+    EXPECT_EQ(rw, 3 * deha.config().writeArrayLatency());
+    // Dynamic-weight ops do not contribute (written at runtime).
+    ws[1].dynamicWeights = true;
+    rw = cost.weightRewriteLatency(ws, as);
+    EXPECT_EQ(rw, 2 * deha.config().writeArrayLatency());
+}
+
+TEST(CostModel, RewriteSumsSlicesOfOneOperator)
+{
+    // Slices of the same operator share its write port: array counts
+    // sum inside Eq. 2's max.
+    Deha deha(testing::tinyChip(16));
+    CostModel cost(deha);
+    std::vector<OpWorkload> ws = {simpleWorkload(deha.config(), 2, 10.0),
+                                  simpleWorkload(deha.config(), 2, 10.0)};
+    ws[0].opId = 7;
+    ws[1].opId = 7;
+    std::vector<OpAllocation> as = {OpAllocation{2, 0, 0},
+                                    OpAllocation{2, 0, 0}};
+    EXPECT_EQ(cost.weightRewriteLatency(ws, as),
+              4 * deha.config().writeArrayLatency());
+}
+
+/**
+ * Calibration property (DESIGN.md Sec. 7): sweeping the compute/memory
+ * split on a 100-array chip, the optimum lands near 86% compute for
+ * ResNet-like AI and near 10% for LLM-decode-like AI — the Fig. 1(b)
+ * shape.
+ */
+class CalibrationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(CalibrationSweep, OptimumRatioMatchesFig1b)
+{
+    auto [ai, lo, hi] = GetParam();
+    Deha deha(ChipConfig::theoretical100());
+    CostModel cost(deha);
+
+    OpWorkload w;
+    w.name = "sweep";
+    w.weightTiles = 1; // duplication models the compute scaling
+    w.utilization = 1.0;
+    w.movingRows = 1 << 20;
+    w.macs = 1 << 30;
+    w.aiMacsPerByte = ai;
+    w.inputBytes = static_cast<s64>(static_cast<double>(w.macs) / ai);
+    w.outputBytes = 0;
+    w.weightBytes = 0;
+
+    s64 best_c = -1;
+    Cycles best = kInfCycles;
+    for (s64 c = 1; c < 100; ++c) {
+        Cycles l = cost.opLatency(w, OpAllocation{c, 100 - c, 0});
+        if (l < best) {
+            best = l;
+            best_c = c;
+        }
+    }
+    double ratio = static_cast<double>(best_c) / 100.0;
+    EXPECT_GE(ratio, lo) << "AI=" << ai;
+    EXPECT_LE(ratio, hi) << "AI=" << ai;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAnchors, CalibrationSweep,
+    ::testing::Values(
+        std::make_tuple(33.0, 0.70, 0.95),  // ResNet-50-like (AI/2 in MACs)
+        std::make_tuple(1.0, 0.03, 0.20),   // LLaMA2-decode-like
+        std::make_tuple(10.0, 0.30, 0.80))); // BERT-like middle ground
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,131 @@
+/** @file Unit tests for the computation-graph IR. */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Shape, Basics)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.numElements(), 24);
+    EXPECT_EQ(s.leadingElements(), 6);
+    EXPECT_EQ(s.lastDim(), 4);
+    EXPECT_EQ(s.toString(), "[2x3x4]");
+
+    Shape scalar;
+    EXPECT_EQ(scalar.numElements(), 1);
+    EXPECT_EQ(scalar.lastDim(), 1);
+}
+
+TEST(Tensor, BytesUseDtype)
+{
+    TensorDesc t{"t", Shape{4, 4}, DType::kInt32, TensorKind::kActivation};
+    EXPECT_EQ(t.bytes(), 64);
+    t.dtype = DType::kInt8;
+    EXPECT_EQ(t.bytes(), 16);
+}
+
+TEST(Graph, ProducersAndConsumers)
+{
+    Graph g = testing::chainMlp(3);
+    // Tensor x feeds fc0 only.
+    EXPECT_FALSE(g.producerOf(0).has_value());
+    auto consumers = g.consumersOf(0);
+    ASSERT_EQ(consumers.size(), 1u);
+    EXPECT_EQ(g.op(consumers[0]).name, "fc0");
+}
+
+TEST(Graph, TopoOrderIsStable)
+{
+    Graph g = testing::chainMlp(4);
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(g.op(order[i]).name, "fc" + std::to_string(i));
+}
+
+TEST(Graph, CimOpsFiltersFunctionUnits)
+{
+    Graph g("mixed");
+    TensorId x = g.addTensor("x", Shape{1, 8}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId w = g.addTensor("w", Shape{8, 8}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{1, 8});
+    Operator mm;
+    mm.name = "mm";
+    mm.kind = OpKind::kMatMul;
+    mm.inputs = {x, w};
+    mm.outputs = {y};
+    g.addOp(mm);
+    TensorId z = g.addTensor("z", Shape{1, 8}, DType::kInt8,
+                             TensorKind::kOutput);
+    Operator act;
+    act.name = "act";
+    act.kind = OpKind::kActivation;
+    act.activationName = "relu";
+    act.inputs = {y};
+    act.outputs = {z};
+    g.addOp(act);
+
+    EXPECT_EQ(g.cimOps().size(), 1u);
+    EXPECT_EQ(g.numOps(), 2);
+}
+
+TEST(Graph, DirectlyFeeds)
+{
+    Graph g = testing::chainMlp(3);
+    EXPECT_TRUE(g.directlyFeeds(0, 1));
+    EXPECT_FALSE(g.directlyFeeds(0, 2));
+    EXPECT_FALSE(g.directlyFeeds(1, 0));
+}
+
+TEST(Graph, TotalWeightBytes)
+{
+    Graph g = testing::chainMlp(2, /*dim=*/16);
+    EXPECT_EQ(g.totalWeightBytes(), 2 * 16 * 16);
+}
+
+TEST(GraphDeath, CycleDetected)
+{
+    Graph g("cyclic");
+    TensorId a = g.addTensor("a", Shape{1, 4});
+    TensorId b = g.addTensor("b", Shape{1, 4});
+    Operator o1;
+    o1.name = "o1";
+    o1.kind = OpKind::kElementwiseAdd;
+    o1.inputs = {a};
+    o1.outputs = {b};
+    g.addOp(o1);
+    Operator o2;
+    o2.name = "o2";
+    o2.kind = OpKind::kElementwiseAdd;
+    o2.inputs = {b};
+    o2.outputs = {a};
+    g.addOp(o2);
+    EXPECT_DEATH(g.topoOrder(), "cycle");
+}
+
+TEST(GraphDeath, DoubleProducerRejected)
+{
+    Graph g("dup");
+    TensorId a = g.addTensor("a", Shape{1, 4});
+    TensorId b = g.addTensor("b", Shape{1, 4});
+    Operator o1;
+    o1.name = "o1";
+    o1.kind = OpKind::kElementwiseAdd;
+    o1.inputs = {a};
+    o1.outputs = {b};
+    g.addOp(o1);
+    Operator o2 = o1;
+    o2.name = "o2";
+    EXPECT_DEATH(g.addOp(o2), "two producers");
+}
+
+} // namespace
+} // namespace cmswitch

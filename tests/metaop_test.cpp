@@ -1,0 +1,216 @@
+/** @file Meta-operator IR: printer/parser round trip + validator. */
+
+#include <gtest/gtest.h>
+
+#include "arch/deha.hpp"
+#include "metaop/parser.hpp"
+#include "metaop/printer.hpp"
+#include "metaop/validator.hpp"
+#include "support/random.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+MetaOp
+randomCompute(Rng &rng)
+{
+    OpWorkload w;
+    w.name = "op" + std::to_string(rng.nextInt(0, 99));
+    w.opId = static_cast<OpId>(rng.nextInt(0, 50));
+    w.kind = rng.nextInt(0, 1) ? OpKind::kMatMul : OpKind::kConv2d;
+    w.macs = rng.nextInt(1, 1 << 20);
+    w.weightBytes = rng.nextInt(1, 1 << 16);
+    w.inputBytes = rng.nextInt(1, 1 << 16);
+    w.outputBytes = rng.nextInt(1, 1 << 16);
+    w.vectorElems = rng.nextInt(0, 1 << 10);
+    w.weightTiles = rng.nextInt(1, 9);
+    w.utilization = rng.nextDouble(0.1, 1.0);
+    w.movingRows = rng.nextInt(1, 1000);
+    w.dynamicWeights = rng.nextInt(0, 1) == 1;
+    w.aiMacsPerByte = rng.nextDouble(0.1, 500.0);
+    OpAllocation a{rng.nextInt(1, 16), rng.nextInt(0, 8), rng.nextInt(0, 8)};
+    return MetaOp::makeCompute(w, a);
+}
+
+void
+expectOpRoundTrip(const MetaOp &op)
+{
+    MetaOp back = parseMetaOp(printMetaOp(op));
+    EXPECT_EQ(back.kind, op.kind);
+    EXPECT_EQ(back.target, op.target);
+    EXPECT_EQ(back.bytes, op.bytes);
+    EXPECT_EQ(back.arrayCount, op.arrayCount);
+    if (op.kind == MetaOpKind::kSwitch) {
+        EXPECT_EQ(back.switchTo, op.switchTo);
+    }
+    if (op.kind == MetaOpKind::kCompute) {
+        EXPECT_EQ(back.graphOp, op.graphOp);
+        EXPECT_EQ(back.work.macs, op.work.macs);
+        EXPECT_EQ(back.work.weightBytes, op.work.weightBytes);
+        EXPECT_EQ(back.work.weightTiles, op.work.weightTiles);
+        EXPECT_EQ(back.work.movingRows, op.work.movingRows);
+        EXPECT_EQ(back.work.dynamicWeights, op.work.dynamicWeights);
+        EXPECT_NEAR(back.work.utilization, op.work.utilization, 1e-5);
+        EXPECT_NEAR(back.work.aiMacsPerByte, op.work.aiMacsPerByte, 1e-5);
+        EXPECT_EQ(back.alloc.computeArrays, op.alloc.computeArrays);
+        EXPECT_EQ(back.alloc.memInArrays, op.alloc.memInArrays);
+        EXPECT_EQ(back.alloc.memOutArrays, op.alloc.memOutArrays);
+    }
+}
+
+TEST(MetaOpPrint, SwitchSyntaxMatchesFig13)
+{
+    MetaOp s = MetaOp::makeSwitch(ArrayMode::kMemory, 4, 12);
+    EXPECT_EQ(printMetaOp(s), "CM.switch(TOM, addr=4, n=12)");
+    MetaOp c = MetaOp::makeSwitch(ArrayMode::kCompute, 0, 3);
+    EXPECT_EQ(printMetaOp(c), "CM.switch(TOC, addr=0, n=3)");
+}
+
+TEST(MetaOpRoundTrip, AllKinds)
+{
+    expectOpRoundTrip(MetaOp::makeSwitch(ArrayMode::kMemory, 0, 5));
+    expectOpRoundTrip(MetaOp::makeSwitch(ArrayMode::kCompute, 2, 1));
+    expectOpRoundTrip(MetaOp::makeLoadWeight("fc1", 12345, 7));
+    expectOpRoundTrip(MetaOp::makeLoad("seg1.inbound", 999));
+    expectOpRoundTrip(MetaOp::makeStore("seg0.liveout", 4096));
+    expectOpRoundTrip(MetaOp::makeFuCompute("softmax", 777));
+}
+
+class MetaOpFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MetaOpFuzz, ComputeRoundTrip)
+{
+    Rng rng(static_cast<u64>(GetParam()) * 31 + 17);
+    for (int i = 0; i < 20; ++i)
+        expectOpRoundTrip(randomCompute(rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaOpFuzz, ::testing::Range(0, 10));
+
+TEST(ProgramRoundTrip, FullProgram)
+{
+    Rng rng(99);
+    MetaProgram p("tiny", "dynaplasia");
+    for (int s = 0; s < 3; ++s) {
+        SegmentRecord seg;
+        seg.plan = ModePlan{rng.nextInt(1, 5), rng.nextInt(0, 3)};
+        seg.reusedArrays = rng.nextInt(0, 2);
+        seg.plannedIntra = rng.nextInt(100, 9999);
+        seg.plannedInter = rng.nextInt(0, 500);
+        seg.prologue.push_back(
+            MetaOp::makeSwitch(ArrayMode::kMemory, 0, rng.nextInt(1, 4)));
+        seg.prologue.push_back(
+            MetaOp::makeLoadWeight("w" + std::to_string(s),
+                                   rng.nextInt(1, 4096), rng.nextInt(1, 4)));
+        seg.body.push_back(randomCompute(rng));
+        seg.body.push_back(randomCompute(rng));
+        seg.epilogue.push_back(
+            MetaOp::makeStore("out" + std::to_string(s),
+                              rng.nextInt(1, 4096)));
+        p.addSegment(std::move(seg));
+    }
+
+    MetaProgram back = parseProgram(printProgram(p));
+    EXPECT_EQ(back.modelName(), "tiny");
+    EXPECT_EQ(back.chipName(), "dynaplasia");
+    ASSERT_EQ(back.numSegments(), 3);
+    for (s64 s = 0; s < 3; ++s) {
+        const SegmentRecord &a = p.segments()[static_cast<std::size_t>(s)];
+        const SegmentRecord &b = back.segments()[static_cast<std::size_t>(s)];
+        EXPECT_EQ(a.plan.computeArrays, b.plan.computeArrays);
+        EXPECT_EQ(a.plan.memoryArrays, b.plan.memoryArrays);
+        EXPECT_EQ(a.reusedArrays, b.reusedArrays);
+        EXPECT_EQ(a.plannedIntra, b.plannedIntra);
+        EXPECT_EQ(a.plannedInter, b.plannedInter);
+        EXPECT_EQ(a.prologue.size(), b.prologue.size());
+        EXPECT_EQ(a.body.size(), b.body.size());
+        EXPECT_EQ(a.epilogue.size(), b.epilogue.size());
+    }
+    // Aggregate stats survive the trip.
+    EXPECT_EQ(p.totalSwitchedArrays(), back.totalSwitchedArrays());
+    EXPECT_EQ(p.totalWeightLoadBytes(), back.totalWeightLoadBytes());
+    EXPECT_EQ(p.totalWritebackBytes(), back.totalWritebackBytes());
+    EXPECT_DOUBLE_EQ(p.avgMemoryArrayRatio(), back.avgMemoryArrayRatio());
+}
+
+TEST(Validator, AcceptsConsistentProgram)
+{
+    Deha deha(testing::tinyChip(8));
+    MetaProgram p("demo", "tiny");
+    SegmentRecord seg;
+    OpWorkload w;
+    w.name = "fc";
+    w.weightTiles = 2;
+    w.utilization = 1.0;
+    w.macs = 1000;
+    w.movingRows = 10;
+    w.aiMacsPerByte = 1.0;
+    w.inputBytes = 100;
+    w.outputBytes = 100;
+    w.weightBytes = 512;
+    seg.plan = ModePlan{2, 3};
+    seg.prologue.push_back(MetaOp::makeSwitch(ArrayMode::kMemory, 0, 3));
+    seg.body.push_back(MetaOp::makeCompute(w, OpAllocation{2, 2, 1}));
+    p.addSegment(std::move(seg));
+
+    ValidationReport r = validateProgram(p, deha);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Validator, CatchesResourceOverflow)
+{
+    Deha deha(testing::tinyChip(4));
+    MetaProgram p("demo", "tiny");
+    SegmentRecord seg;
+    seg.plan = ModePlan{4, 4}; // 8 > 4 arrays
+    p.addSegment(std::move(seg));
+    ValidationReport r = validateProgram(p, deha);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("exceeds"), std::string::npos);
+}
+
+TEST(Validator, CatchesWrongSwitchPrologue)
+{
+    Deha deha(testing::tinyChip(8));
+    MetaProgram p("demo", "tiny");
+    SegmentRecord seg;
+    seg.plan = ModePlan{2, 3};
+    // Claims only 1 array switched to memory; 3 are needed from boot.
+    seg.prologue.push_back(MetaOp::makeSwitch(ArrayMode::kMemory, 0, 1));
+    p.addSegment(std::move(seg));
+    ValidationReport r = validateProgram(p, deha);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("switch prologue"), std::string::npos);
+}
+
+TEST(Validator, CatchesWeightsOverflow)
+{
+    Deha deha(testing::tinyChip(8));
+    MetaProgram p("demo", "tiny");
+    SegmentRecord seg;
+    OpWorkload w;
+    w.name = "fat";
+    w.weightTiles = 5;
+    w.utilization = 1.0;
+    w.macs = 10;
+    w.movingRows = 1;
+    w.aiMacsPerByte = 1.0;
+    seg.plan = ModePlan{3, 0};
+    seg.body.push_back(MetaOp::makeCompute(w, OpAllocation{3, 0, 0}));
+    p.addSegment(std::move(seg));
+    ValidationReport r = validateProgram(p, deha);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("cannot hold"), std::string::npos);
+}
+
+TEST(ValidatorDeath, ParserRejectsBadSwitchType)
+{
+    EXPECT_EXIT(parseMetaOp("CM.switch(XXX, addr=0, n=1)"),
+                ::testing::ExitedWithCode(1), "TOM or TOC");
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,152 @@
+/** @file Structural checks of the model zoo against published configs. */
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cmswitch {
+namespace {
+
+s64
+countKind(const Graph &g, OpKind kind)
+{
+    s64 n = 0;
+    for (const Operator &op : g.ops())
+        if (op.kind == kind)
+            ++n;
+    return n;
+}
+
+TEST(Vgg16, ThirteenConvsThreeFcs)
+{
+    Graph g = buildVgg16(1);
+    EXPECT_EQ(countKind(g, OpKind::kConv2d), 13);
+    EXPECT_EQ(countKind(g, OpKind::kMatMul), 3);
+    EXPECT_EQ(countKind(g, OpKind::kPool), 5);
+    // ~138M parameters.
+    EXPECT_NEAR(static_cast<double>(g.totalWeightBytes()), 138.0e6, 8.0e6);
+    // ~15.5 GMACs at batch 1.
+    EXPECT_NEAR(static_cast<double>(profileGraph(g).totalMacs), 15.5e9,
+                1.0e9);
+}
+
+TEST(ResNet18, BlockStructure)
+{
+    Graph g = buildResNet18(1);
+    // 1 stem + 16 block convs + 3 downsample projections = 20.
+    EXPECT_EQ(countKind(g, OpKind::kConv2d), 20);
+    EXPECT_EQ(countKind(g, OpKind::kMatMul), 1);
+    EXPECT_EQ(countKind(g, OpKind::kElementwiseAdd), 8);
+    // ~11.7M parameters.
+    EXPECT_NEAR(static_cast<double>(g.totalWeightBytes()), 11.7e6, 1.5e6);
+    // ~1.8 GMACs.
+    EXPECT_NEAR(static_cast<double>(profileGraph(g).totalMacs), 1.8e9,
+                0.3e9);
+}
+
+TEST(ResNet50, BottleneckStructure)
+{
+    Graph g = buildResNet50(1);
+    // 1 stem + 16 blocks x 3 convs + 4 downsample projections = 53.
+    EXPECT_EQ(countKind(g, OpKind::kConv2d), 53);
+    // ~25.5M parameters, ~4.1 GMACs.
+    EXPECT_NEAR(static_cast<double>(g.totalWeightBytes()), 25.5e6, 3.0e6);
+    EXPECT_NEAR(static_cast<double>(profileGraph(g).totalMacs), 4.1e9,
+                0.5e9);
+}
+
+TEST(MobileNetV2, DepthwiseLayersPresent)
+{
+    Graph g = buildMobileNetV2(1);
+    EXPECT_EQ(countKind(g, OpKind::kDepthwiseConv2d), 17);
+    // ~3.5M parameters, ~0.3 GMACs.
+    EXPECT_NEAR(static_cast<double>(g.totalWeightBytes()), 3.5e6, 1.0e6);
+    EXPECT_NEAR(static_cast<double>(profileGraph(g).totalMacs), 0.32e9,
+                0.1e9);
+}
+
+TEST(Transformers, ParameterCounts)
+{
+    struct Case
+    {
+        TransformerConfig cfg;
+        double params;
+        double tol;
+    };
+    const Case cases[] = {
+        {TransformerConfig::bertBase(), 110e6, 30e6},
+        {TransformerConfig::bertLarge(), 340e6, 60e6},
+        {TransformerConfig::llama2_7b(), 6.7e9, 0.8e9},
+        {TransformerConfig::opt6_7b(), 6.7e9, 0.8e9},
+        {TransformerConfig::opt13b(), 13.0e9, 1.5e9},
+    };
+    for (const Case &c : cases) {
+        Graph g = buildTransformerPrefill(c.cfg, 1, 8);
+        EXPECT_NEAR(static_cast<double>(g.totalWeightBytes()), c.params,
+                    c.tol)
+            << c.cfg.name;
+    }
+}
+
+TEST(Transformers, PrefillOpCountsScaleWithLayers)
+{
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 3;
+    Graph g = buildTransformerPrefill(cfg, 1, 32);
+    // 4 static matmuls + 2 dynamic per layer.
+    EXPECT_EQ(countKind(g, OpKind::kMatMul), 3 * 6);
+    EXPECT_EQ(countKind(g, OpKind::kDynMatMul), 3 * 2);
+    EXPECT_EQ(countKind(g, OpKind::kSoftmax), 3);
+}
+
+TEST(Transformers, GatedFfnHasThreeMatmuls)
+{
+    TransformerConfig cfg = TransformerConfig::llama2_7b();
+    cfg.layers = 1;
+    Graph g = buildTransformerPrefill(cfg, 1, 16);
+    // 4 attention proj + 3 gated FFN + lm head = 8 static matmuls.
+    EXPECT_EQ(countKind(g, OpKind::kMatMul), 8);
+    EXPECT_EQ(countKind(g, OpKind::kElementwiseMul), 1);
+}
+
+TEST(Transformers, DecodeStepUsesKvCache)
+{
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    Graph g = buildTransformerDecodeStep(cfg, 4, 128);
+    s64 kv_tensors = 0;
+    for (TensorId t = 0; t < g.numTensors(); ++t)
+        if (g.tensor(t).kind == TensorKind::kKvCache)
+            ++kv_tensors;
+    EXPECT_EQ(kv_tensors, 2 * 2); // K and V per layer
+    EXPECT_EQ(countKind(g, OpKind::kConcat), 2 * 2);
+}
+
+TEST(Transformers, DecodeRejectsEncoderOnly)
+{
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    EXPECT_EXIT(buildTransformerDecodeStep(cfg, 1, 8),
+                ::testing::ExitedWithCode(1), "decoder-only");
+}
+
+TEST(Zoo, Fig14RegistryComplete)
+{
+    auto entries = fig14Benchmarks();
+    ASSERT_EQ(entries.size(), 6u);
+    EXPECT_EQ(entries[0].name, "bert-large");
+    EXPECT_TRUE(entries[1].generative); // llama2-7b
+    EXPECT_TRUE(entries[2].generative); // opt-13b
+    EXPECT_FALSE(entries[5].generative); // vgg16
+}
+
+TEST(Zoo, TinyMlpValid)
+{
+    Graph g = buildTinyMlp(2, 16, 32, 8);
+    EXPECT_EQ(g.cimOps().size(), 2u);
+    GraphProfile p = profileGraph(g);
+    EXPECT_EQ(p.totalMacs, 2 * (16LL * 32 + 32 * 8));
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,147 @@
+/** @file Tests for graph flattening and sub-operator partitioning. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/partitioner.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Partitioner, ChainProducesOrderedOpsWithEdges)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(3);
+    auto ops = flattenGraph(g, deha);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_TRUE(ops[0].preds.empty());
+    ASSERT_EQ(ops[1].preds.size(), 1u);
+    EXPECT_EQ(ops[1].preds[0], 0);
+    ASSERT_EQ(ops[2].preds.size(), 1u);
+    EXPECT_EQ(ops[2].preds[0], 1);
+    // Edge reuse bound equals the connecting tensor bytes.
+    EXPECT_EQ(ops[1].reuseBytes[0], 2 * 32);
+}
+
+TEST(Partitioner, FuEpilogueFoldsUpstream)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = buildTinyMlp(2, 16, 32, 8); // fc1 -> relu -> fc2
+    auto ops = flattenGraph(g, deha);
+    ASSERT_EQ(ops.size(), 2u);
+    // relu's elements (2x32) fold onto fc1.
+    EXPECT_EQ(ops[0].work.vectorElems, 2 * 32);
+    EXPECT_EQ(ops[1].work.vectorElems, 0);
+}
+
+TEST(Partitioner, NetworkOutputsMarkedLive)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = buildTinyMlp(2, 16, 32, 8);
+    auto ops = flattenGraph(g, deha);
+    EXPECT_EQ(ops[0].liveOutBytes, 0);
+    EXPECT_EQ(ops[1].liveOutBytes, 2 * 8); // y is a network output
+}
+
+TEST(Partitioner, OversizedOpIsSplit)
+{
+    Deha deha(testing::tinyChip(8)); // 16x16 arrays, budget < 8
+    Graph g("big");
+    TensorId x = g.addTensor("x", Shape{1, 64}, DType::kInt8,
+                             TensorKind::kInput);
+    // 64x160 weights => 4 x 10 = 40 tiles >> chip.
+    TensorId w = g.addTensor("w", Shape{64, 160}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{1, 160}, DType::kInt8,
+                             TensorKind::kOutput);
+    Operator mm;
+    mm.name = "mm";
+    mm.kind = OpKind::kMatMul;
+    mm.inputs = {x, w};
+    mm.outputs = {y};
+    g.addOp(mm);
+
+    auto ops = flattenGraph(g, deha);
+    ASSERT_GT(ops.size(), 1u);
+    s64 tiles = 0, macs = 0, out_bytes = 0;
+    for (const ScheduledOp &s : ops) {
+        EXPECT_LE(s.work.weightTiles, deha.config().numSwitchArrays);
+        EXPECT_EQ(s.subCount, static_cast<s64>(ops.size()));
+        tiles += s.work.weightTiles;
+        macs += s.work.macs;
+        out_bytes += s.work.outputBytes;
+        // Every slice streams the full moving input.
+        EXPECT_EQ(s.work.inputBytes, 64);
+    }
+    EXPECT_EQ(tiles, 40);
+    EXPECT_EQ(macs, 64 * 160);
+    EXPECT_EQ(out_bytes, 160);
+}
+
+TEST(Partitioner, ExplicitBudgetHonored)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(1, /*dim=*/64); // 4x4 = 16 tiles
+    PartitionOptions opts;
+    opts.maxTilesPerSubOp = 4;
+    auto ops = flattenGraph(g, deha, opts);
+    EXPECT_EQ(ops.size(), 4u);
+    for (const ScheduledOp &s : ops)
+        EXPECT_LE(s.work.weightTiles, 4);
+}
+
+TEST(Partitioner, ConsumerConnectsToAllSlices)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(2, /*dim=*/64);
+    PartitionOptions opts;
+    opts.maxTilesPerSubOp = 8;
+    auto ops = flattenGraph(g, deha, opts);
+    ASSERT_EQ(ops.size(), 4u); // each fc split in two
+    // Slices of fc1 (indices 2,3) depend on both slices of fc0.
+    ASSERT_EQ(ops[2].preds.size(), 2u);
+    EXPECT_EQ(ops[2].preds[0], 0);
+    EXPECT_EQ(ops[2].preds[1], 1);
+}
+
+TEST(Partitioner, TransformerDecodeFlattens)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 1;
+    Graph g = buildTransformerDecodeStep(cfg, 1, 64);
+    auto ops = flattenGraph(g, deha);
+    EXPECT_GT(ops.size(), 6u);
+    for (const ScheduledOp &s : ops) {
+        EXPECT_GT(s.work.weightTiles, 0);
+        EXPECT_LE(s.work.weightTiles, deha.config().numSwitchArrays);
+        EXPECT_GT(s.work.macs, 0);
+    }
+    // Attention score/context ops carry dynamic weights.
+    bool saw_dynamic = false;
+    for (const ScheduledOp &s : ops)
+        saw_dynamic |= s.work.dynamicWeights;
+    EXPECT_TRUE(saw_dynamic);
+}
+
+TEST(Partitioner, SoftmaxFoldsOntoScoreOp)
+{
+    Deha deha(ChipConfig::dynaplasia());
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 1;
+    Graph g = buildTransformerPrefill(cfg, 1, 32);
+    auto ops = flattenGraph(g, deha);
+    // Find the attention-score op; its epilogue must include softmax.
+    bool found = false;
+    for (const ScheduledOp &s : ops) {
+        if (s.work.cls == OpClass::kAttnScore) {
+            EXPECT_GT(s.work.vectorElems, 0) << "softmax not folded";
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace cmswitch

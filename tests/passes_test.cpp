@@ -1,0 +1,154 @@
+/** @file Tests for the frontend graph optimization passes. */
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/passes.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+/** x -> fc -> (output), plus a dead side branch. */
+Graph
+graphWithDeadBranch()
+{
+    Graph g("deadbranch");
+    TensorId x = g.addTensor("x", Shape{1, 16}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId w = g.addTensor("w", Shape{16, 16}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{1, 16}, DType::kInt8,
+                             TensorKind::kOutput);
+    Operator fc;
+    fc.name = "fc";
+    fc.kind = OpKind::kMatMul;
+    fc.inputs = {x, w};
+    fc.outputs = {y};
+    g.addOp(fc);
+
+    // Dead: relu feeding nothing.
+    TensorId dead = g.addTensor("dead", Shape{1, 16});
+    Operator relu;
+    relu.name = "dead_relu";
+    relu.kind = OpKind::kActivation;
+    relu.activationName = "relu";
+    relu.inputs = {x};
+    relu.outputs = {dead};
+    g.addOp(relu);
+    return g;
+}
+
+TEST(DeadOps, RemovesUnreachableBranch)
+{
+    Graph g = graphWithDeadBranch();
+    PassStats stats = eliminateDeadOps(&g);
+    EXPECT_EQ(stats.removedOps, 1);
+    EXPECT_EQ(g.numOps(), 1);
+    g.validate();
+    // The surviving op still computes the same thing.
+    EXPECT_EQ(g.op(0).name, "fc");
+}
+
+TEST(DeadOps, KeepsEverythingWithoutOutputs)
+{
+    // Ad-hoc graphs without kOutput tensors are left untouched.
+    Graph g("no-outputs");
+    TensorId x = g.addTensor("x", Shape{1, 4}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId y = g.addTensor("y", Shape{1, 4});
+    Operator relu;
+    relu.name = "relu";
+    relu.kind = OpKind::kActivation;
+    relu.inputs = {x};
+    relu.outputs = {y};
+    g.addOp(relu);
+    PassStats stats = eliminateDeadOps(&g);
+    EXPECT_EQ(stats.removedOps, 0);
+    EXPECT_EQ(g.numOps(), 1);
+}
+
+TEST(DeadOps, NoopOnCleanModels)
+{
+    Graph g = buildTinyMlp();
+    PassStats stats = eliminateDeadOps(&g);
+    EXPECT_EQ(stats.removedOps, 0);
+    EXPECT_EQ(g.numOps(), 3);
+}
+
+TEST(ReshapeFold, CollapsesChain)
+{
+    Graph g("chainfold");
+    TensorId x = g.addTensor("x", Shape{2, 8}, DType::kInt8,
+                             TensorKind::kInput);
+    TensorId r1 = g.addTensor("r1", Shape{4, 4});
+    TensorId r2 = g.addTensor("r2", Shape{16});
+    TensorId w = g.addTensor("w", Shape{16, 4}, DType::kInt8,
+                             TensorKind::kWeight);
+    TensorId y = g.addTensor("y", Shape{1, 4}, DType::kInt8,
+                             TensorKind::kOutput);
+    Operator a;
+    a.name = "reshape1";
+    a.kind = OpKind::kReshape;
+    a.inputs = {x};
+    a.outputs = {r1};
+    g.addOp(a);
+    Operator b;
+    b.name = "reshape2";
+    b.kind = OpKind::kReshape;
+    b.inputs = {r1};
+    b.outputs = {r2};
+    g.addOp(b);
+    TensorId r2m = g.addTensor("r2m", Shape{1, 16});
+    Operator c;
+    c.name = "reshape3";
+    c.kind = OpKind::kReshape;
+    c.inputs = {r2};
+    c.outputs = {r2m};
+    g.addOp(c);
+    Operator fc;
+    fc.name = "fc";
+    fc.kind = OpKind::kMatMul;
+    fc.inputs = {r2m, w};
+    fc.outputs = {y};
+    g.addOp(fc);
+
+    PassStats stats = foldReshapeChains(&g);
+    EXPECT_EQ(stats.removedOps, 2); // reshape1 + reshape2 bypassed
+    g.validate();
+    // The surviving reshape reads straight from x.
+    bool found = false;
+    for (const Operator &op : g.ops()) {
+        if (op.kind == OpKind::kReshape) {
+            found = true;
+            EXPECT_EQ(g.tensor(op.inputs[0]).name, "x");
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ReshapeFold, PreservesSemantics)
+{
+    // Folding must not change analysis results of the surviving ops.
+    Graph g = buildResNet18(1);
+    GraphProfile before = profileGraph(g);
+    PassStats stats = runFrontendPasses(&g);
+    GraphProfile after = profileGraph(g);
+    EXPECT_EQ(before.totalMacs, after.totalMacs);
+    EXPECT_EQ(stats.removedOps, 0); // zoo models are already minimal
+}
+
+TEST(Passes, TransformerGraphStaysValid)
+{
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 2;
+    Graph g = buildTransformerPrefill(cfg, 1, 32);
+    s64 macs_before = profileGraph(g).totalMacs;
+    runFrontendPasses(&g);
+    EXPECT_EQ(profileGraph(g).totalMacs, macs_before);
+    g.validate();
+}
+
+} // namespace
+} // namespace cmswitch

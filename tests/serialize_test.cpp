@@ -1,0 +1,91 @@
+/** @file Round-trip tests for the textual graph exchange format. */
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/serialize.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+void
+expectRoundTrip(const Graph &g)
+{
+    std::string text = serializeGraph(g);
+    Graph back = parseGraph(text);
+    ASSERT_EQ(back.numTensors(), g.numTensors());
+    ASSERT_EQ(back.numOps(), g.numOps());
+    EXPECT_EQ(back.name(), g.name());
+    for (TensorId t = 0; t < g.numTensors(); ++t) {
+        EXPECT_EQ(back.tensor(t).name, g.tensor(t).name);
+        EXPECT_EQ(back.tensor(t).shape, g.tensor(t).shape);
+        EXPECT_EQ(back.tensor(t).dtype, g.tensor(t).dtype);
+        EXPECT_EQ(back.tensor(t).kind, g.tensor(t).kind);
+    }
+    for (OpId o = 0; o < g.numOps(); ++o) {
+        EXPECT_EQ(back.op(o).name, g.op(o).name);
+        EXPECT_EQ(back.op(o).kind, g.op(o).kind);
+        EXPECT_EQ(back.op(o).cls, g.op(o).cls);
+        EXPECT_EQ(back.op(o).inputs, g.op(o).inputs);
+        EXPECT_EQ(back.op(o).outputs, g.op(o).outputs);
+        EXPECT_EQ(back.op(o).conv.kernelH, g.op(o).conv.kernelH);
+        EXPECT_EQ(back.op(o).conv.groups, g.op(o).conv.groups);
+        EXPECT_EQ(back.op(o).activationName, g.op(o).activationName);
+    }
+    // Profiles must be identical too (a strong structural check).
+    GraphProfile p1 = profileGraph(g);
+    GraphProfile p2 = profileGraph(back);
+    EXPECT_EQ(p1.totalMacs, p2.totalMacs);
+    EXPECT_EQ(p1.totalTraffic, p2.totalTraffic);
+}
+
+TEST(Serialize, TinyMlpRoundTrip)
+{
+    expectRoundTrip(buildTinyMlp());
+}
+
+TEST(Serialize, ChainRoundTrip)
+{
+    expectRoundTrip(testing::chainMlp(5));
+}
+
+TEST(Serialize, ResNet18RoundTrip)
+{
+    expectRoundTrip(buildResNet18(2));
+}
+
+TEST(Serialize, MobileNetRoundTrip)
+{
+    expectRoundTrip(buildMobileNetV2(1));
+}
+
+TEST(Serialize, TransformerRoundTrip)
+{
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 2;
+    expectRoundTrip(buildTransformerPrefill(cfg, 2, 32));
+}
+
+TEST(Serialize, DecodeStepRoundTrip)
+{
+    TransformerConfig cfg = TransformerConfig::gpt();
+    cfg.layers = 1;
+    expectRoundTrip(buildTransformerDecodeStep(cfg, 1, 16));
+}
+
+TEST(SerializeDeath, RejectsGarbage)
+{
+    EXPECT_EXIT(parseGraph("bogus line"), ::testing::ExitedWithCode(1),
+                "unknown line tag");
+}
+
+TEST(SerializeDeath, RejectsMissingHeader)
+{
+    EXPECT_EXIT(parseGraph(""), ::testing::ExitedWithCode(1),
+                "missing 'graph' header");
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,162 @@
+/** @file Unit tests certifying the simplex LP solver on known problems. */
+
+#include <gtest/gtest.h>
+
+#include "solver/simplex.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(Simplex, TextbookMaximisation)
+{
+    // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), 36.
+    LinearModel m;
+    VarId x = m.addVar("x", 0, kInfinity);
+    VarId y = m.addVar("y", 0, kInfinity);
+    m.addConstraint(term(x), Rel::kLe, 4);
+    m.addConstraint(term(y, 2.0), Rel::kLe, 12);
+    LinearExpr c3;
+    c3.add(x, 3.0).add(y, 2.0);
+    m.addConstraint(c3, Rel::kLe, 18);
+    LinearExpr obj;
+    obj.add(x, 3.0).add(y, 5.0);
+    m.setObjective(obj, Sense::kMaximize);
+
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 36.0, 1e-6);
+    EXPECT_NEAR(s.values[0], 2.0, 1e-6);
+    EXPECT_NEAR(s.values[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, MinimisationWithGe)
+{
+    // min 2x + 3y s.t. x + y >= 10, x >= 2 => (8, 2) ... check: cost
+    // 2*8+3*2 = 22 vs all-x (10,0): 20. Optimal is y=0, x=10 => 20.
+    LinearModel m;
+    VarId x = m.addVar("x", 2, kInfinity);
+    VarId y = m.addVar("y", 0, kInfinity);
+    LinearExpr sum;
+    sum.add(x, 1.0).add(y, 1.0);
+    m.addConstraint(sum, Rel::kGe, 10);
+    LinearExpr obj;
+    obj.add(x, 2.0).add(y, 3.0);
+    m.setObjective(obj, Sense::kMinimize);
+
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 20.0, 1e-6);
+    EXPECT_NEAR(s.values[0], 10.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraint)
+{
+    // min x + y s.t. x + 2y = 8, x <= 4 => x=4, y=2, obj 6... check
+    // x=0,y=4: obj 4 (feasible!) so optimum is 4.
+    LinearModel m;
+    VarId x = m.addVar("x", 0, 4);
+    VarId y = m.addVar("y", 0, kInfinity);
+    LinearExpr eq;
+    eq.add(x, 1.0).add(y, 2.0);
+    m.addConstraint(eq, Rel::kEq, 8);
+    LinearExpr obj;
+    obj.add(x, 1.0).add(y, 1.0);
+    m.setObjective(obj, Sense::kMinimize);
+
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 4.0, 1e-6);
+    EXPECT_NEAR(s.values[1], 4.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible)
+{
+    LinearModel m;
+    VarId x = m.addVar("x", 0, 5);
+    m.addConstraint(term(x), Rel::kGe, 10);
+    m.setObjective(term(x), Sense::kMinimize);
+    EXPECT_EQ(solveLp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded)
+{
+    LinearModel m;
+    VarId x = m.addVar("x", 0, kInfinity);
+    m.setObjective(term(x), Sense::kMaximize);
+    EXPECT_EQ(solveLp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, ShiftedLowerBounds)
+{
+    // min x s.t. x >= 7 via bound only.
+    LinearModel m;
+    VarId x = m.addVar("x", 7, 100);
+    m.setObjective(term(x), Sense::kMinimize);
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.values[0], 7.0, 1e-6);
+}
+
+TEST(Simplex, NegativeRhsNormalised)
+{
+    // x - y <= -2 with min x => x=0 requires y >= 2.
+    LinearModel m;
+    VarId x = m.addVar("x", 0, 10);
+    VarId y = m.addVar("y", 0, 10);
+    LinearExpr e;
+    e.add(x, 1.0).add(y, -1.0);
+    m.addConstraint(e, Rel::kLe, -2);
+    LinearExpr obj;
+    obj.add(x, 1.0).add(y, 1.0);
+    m.setObjective(obj, Sense::kMinimize);
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 2.0, 1e-6);
+    EXPECT_NEAR(s.values[1], 2.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates)
+{
+    // Classic cycling-prone instance; Bland's rule must terminate.
+    LinearModel m;
+    VarId x1 = m.addVar("x1", 0, kInfinity);
+    VarId x2 = m.addVar("x2", 0, kInfinity);
+    VarId x3 = m.addVar("x3", 0, kInfinity);
+    VarId x4 = m.addVar("x4", 0, kInfinity);
+    LinearExpr c1;
+    c1.add(x1, 0.5).add(x2, -5.5).add(x3, -2.5).add(x4, 9.0);
+    m.addConstraint(c1, Rel::kLe, 0);
+    LinearExpr c2;
+    c2.add(x1, 0.5).add(x2, -1.5).add(x3, -0.5).add(x4, 1.0);
+    m.addConstraint(c2, Rel::kLe, 0);
+    m.addConstraint(term(x1), Rel::kLe, 1);
+    LinearExpr obj;
+    obj.add(x1, 10.0).add(x2, -57.0).add(x3, -9.0).add(x4, -24.0);
+    m.setObjective(obj, Sense::kMaximize);
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(Simplex, SolutionSatisfiesModel)
+{
+    LinearModel m;
+    VarId a = m.addVar("a", 0, 9);
+    VarId b = m.addVar("b", 1, 7);
+    VarId c = m.addVar("c", 0, kInfinity);
+    LinearExpr e1;
+    e1.add(a, 2.0).add(b, 1.0).add(c, 1.0);
+    m.addConstraint(e1, Rel::kLe, 14);
+    LinearExpr e2;
+    e2.add(a, 1.0).add(c, -1.0);
+    m.addConstraint(e2, Rel::kGe, -3);
+    LinearExpr obj;
+    obj.add(a, 1.0).add(b, 2.0).add(c, 3.0);
+    m.setObjective(obj, Sense::kMaximize);
+    LpSolution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_TRUE(m.isFeasible(s.values, 1e-6));
+}
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,116 @@
+/** @file Unit tests for the support library. */
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+#include "support/random.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(CeilDiv, ExactAndRounding)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(ceilDiv(5, 1), 5);
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingle)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("in=3", "in="));
+    EXPECT_FALSE(startsWith("in", "in="));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1024.0), "1.00 KiB");
+    EXPECT_EQ(formatBytes(9.6 * 1024 * 1024), "9.60 MiB");
+}
+
+TEST(Table, RendersHeaderRule)
+{
+    Table t("demo");
+    t.addRow({"model", "speedup"});
+    t.addRow("vgg16", {1.32}, 2);
+    std::string text = t.render();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("model"), std::string::npos);
+    EXPECT_NE(text.find("1.32"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t;
+    t.addRow({"a", "bb"});
+    t.addRow({"ccc", "d"});
+    std::string text = t.render();
+    // "a" padded to width 3 + 2 spaces before "bb".
+    EXPECT_NE(text.find("a    bb"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextInt(0, 1000), b.nextInt(0, 1000));
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        s64 v = rng.nextInt(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+        double d = rng.nextDouble(0.25, 0.75);
+        EXPECT_GE(d, 0.25);
+        EXPECT_LT(d, 0.75);
+    }
+}
+
+} // namespace
+} // namespace cmswitch

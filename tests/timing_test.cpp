@@ -1,0 +1,109 @@
+/** @file Timing simulator vs. compiler cost-model cross-checks. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "compiler/cmswitch_compiler.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/timing.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+void
+expectBreakdownMatches(const ChipConfig &chip, Compiler &compiler,
+                       const Graph &g)
+{
+    CompileResult r = compiler.compile(g);
+    Deha deha(chip);
+    TimingSimulator sim(deha);
+    TimingReport t = sim.run(r.program);
+
+    EXPECT_EQ(t.breakdown.intra, r.latency.intra) << compiler.name();
+    EXPECT_EQ(t.breakdown.modeSwitch, r.latency.modeSwitch)
+        << compiler.name();
+    EXPECT_EQ(t.breakdown.rewrite, r.latency.rewrite) << compiler.name();
+    EXPECT_EQ(t.breakdown.writeback, r.latency.writeback) << compiler.name();
+    EXPECT_EQ(t.total(), r.totalCycles()) << compiler.name();
+    EXPECT_EQ(static_cast<s64>(t.segmentCycles.size()), r.numSegments());
+}
+
+TEST(Timing, MatchesCompilerOnChain)
+{
+    ChipConfig chip = testing::tinyChip(8);
+    CmSwitchCompiler compiler(chip);
+    expectBreakdownMatches(chip, compiler, testing::chainMlp(5));
+}
+
+TEST(Timing, MatchesCompilerOnCnn)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    expectBreakdownMatches(chip, compiler, buildMobileNetV2(1));
+}
+
+TEST(Timing, MatchesCompilerOnTransformerPrefill)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::bertBase();
+    cfg.layers = 2;
+    expectBreakdownMatches(chip, compiler, buildTransformerPrefill(cfg, 1, 64));
+}
+
+TEST(Timing, MatchesCompilerOnDecodeStep)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    expectBreakdownMatches(chip, compiler,
+                           buildTransformerDecodeStep(cfg, 1, 128));
+}
+
+/** Pipelined-baseline programs must also re-price identically. */
+class TimingAcrossCompilers : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TimingAcrossCompilers, BreakdownConsistent)
+{
+    ChipConfig chip = ChipConfig::dynaplasia();
+    auto compilers = makeAllCompilers(chip);
+    Compiler &compiler = *compilers[static_cast<std::size_t>(GetParam())];
+    // Serial compilers (PUMA/OCC) price intra as a sum; the timing
+    // simulator models the parallel block as a max. Skip those two for
+    // the strict equality (they are covered by the >= check below).
+    Graph g = buildResNet18(1);
+    CompileResult r = compiler.compile(g);
+    Deha deha(chip);
+    TimingSimulator sim(deha);
+    TimingReport t = sim.run(r.program);
+    if (compiler.name() == "cim-mlc" || compiler.name() == "cmswitch") {
+        EXPECT_EQ(t.total(), r.totalCycles());
+    } else {
+        // Serial scheduling is pessimistic vs. the parallel block.
+        EXPECT_LE(t.total(), r.totalCycles());
+    }
+    EXPECT_GE(t.switchedArrays, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompilers, TimingAcrossCompilers,
+                         ::testing::Range(0, 4));
+
+TEST(Timing, SwitchShareSmall)
+{
+    // Sec. 5.5: mode switching is a negligible share of execution.
+    ChipConfig chip = ChipConfig::dynaplasia();
+    CmSwitchCompiler compiler(chip);
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 2;
+    CompileResult r = compiler.compile(buildTransformerDecodeStep(cfg, 1, 256));
+    Deha deha(chip);
+    TimingReport t = TimingSimulator(deha).run(r.program);
+    EXPECT_LT(t.switchShare(), 0.10);
+}
+
+} // namespace
+} // namespace cmswitch
