@@ -20,6 +20,12 @@ EnergyParams::prime()
     return p;
 }
 
+EnergyParams
+EnergyParams::forChip(const ChipConfig &chip)
+{
+    return chip.name == "prime" ? prime() : dynaplasia();
+}
+
 EnergyModel::EnergyModel(const Deha &deha, EnergyParams params)
     : deha_(&deha), params_(params)
 {

@@ -38,6 +38,14 @@ struct EnergyParams
 
     /** ReRAM chip: cheap reads, 20x write energy. */
     static EnergyParams prime();
+
+    /**
+     * Technology-matched parameters for @p chip: the PRIME preset is
+     * ReRAM, everything else (dynaplasia, tiny/test chips, user chip
+     * files) is priced as eDRAM-like. The one place that mapping
+     * lives — tools and tests must not re-derive it.
+     */
+    static EnergyParams forChip(const ChipConfig &chip);
 };
 
 /** Energy breakdown of one program execution (picojoules). */

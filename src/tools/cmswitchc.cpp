@@ -2,29 +2,10 @@
  * @file
  * cmswitchc — command-line driver for the CMSwitch compiler.
  *
- * Usage:
- *   cmswitchc --model <zoo-name | file.graph> [options]
- *
- * Options:
- *   --model NAME|FILE   zoo model name (vgg16, resnet18, resnet50,
- *                       mobilenetv2, bert-base, bert-large, gpt,
- *                       llama2-7b, opt-6.7b, opt-13b) or a path to a
- *                       textual graph file (graph/serialize.hpp format)
- *   --chip NAME|FILE    dynaplasia (default), prime, or a chip
- *                       description file (arch/chip_parser.hpp format)
- *   --compiler NAME     cmswitch (default), cim-mlc, occ, puma
- *   --batch N           batch size for zoo models (default 1)
- *   --seq N             sequence length for transformers (default 64)
- *   --decode N          compile a decode step with kv length N instead
- *                       of a prefill pass (decoder-only models)
- *   --layers N          override transformer layer count
- *   --optimize          run the frontend graph passes before compiling
- *   --out FILE          write the meta-operator program to FILE
- *   --stats             print the latency/energy breakdown only
- *
- * Examples:
- *   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
- *   cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
+ * Flags, defaults and examples live in one place: the kUsage text
+ * below, printed by `cmswitchc --help`. Running without arguments
+ * prints the same text and exits with status 2, as does any malformed
+ * invocation; semantic errors (unknown model/chip) exit 1 via fatal().
  */
 
 #include <fstream>
@@ -43,8 +24,50 @@
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 
+#ifndef CMSWITCH_VERSION
+#define CMSWITCH_VERSION "dev"
+#endif
+
 namespace cmswitch {
 namespace {
+
+const char kUsage[] =
+    R"(usage: cmswitchc --model <zoo-name | file.graph> [options]
+
+Compile a DNN for a dual-mode CIM chip and report the schedule.
+
+Options:
+  --model NAME|FILE   zoo model name (vgg16, resnet18, resnet50,
+                      mobilenetv2, bert-base, bert-large, gpt,
+                      llama2-7b, opt-6.7b, opt-13b) or a path to a
+                      textual graph file (graph/serialize.hpp format)
+  --chip NAME|FILE    dynaplasia (default), prime, or a chip
+                      description file (arch/chip_parser.hpp format)
+  --compiler NAME     cmswitch (default), cim-mlc, occ, puma
+  --batch N           batch size for zoo models (default 1)
+  --seq N             sequence length for transformers (default 64)
+  --decode N          compile a decode step with kv length N instead
+                      of a prefill pass (decoder-only models)
+  --layers N          override transformer layer count
+  --optimize          run the frontend graph passes before compiling
+  --out FILE          write the meta-operator program to FILE
+  --stats             print the latency/energy breakdown only
+  --help              print this message and exit
+  --version           print the version and exit
+
+Examples:
+  cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
+  cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
+)";
+
+/** CLI usage error: complain, point at --help, exit 2 (not a crash). */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "cmswitchc: error: " << message << "\n"
+              << "run 'cmswitchc --help' for usage\n";
+    std::exit(2);
+}
 
 struct CliArgs
 {
@@ -79,12 +102,33 @@ fileExists(const std::string &path)
 CliArgs
 parseCli(int argc, char **argv)
 {
+    if (argc <= 1) {
+        std::cerr << kUsage;
+        std::exit(2);
+    }
     CliArgs args;
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         auto next = [&]() -> std::string {
-            cmswitch_fatal_if(i + 1 >= argc, flag, " needs a value");
+            if (i + 1 >= argc)
+                usageError(flag + " needs a value");
             return argv[++i];
+        };
+        auto nextInt = [&](s64 min_value) -> s64 {
+            std::string value = next();
+            s64 parsed = 0;
+            try {
+                size_t used = 0;
+                parsed = std::stoll(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                usageError(flag + " needs an integer, got '" + value + "'");
+            }
+            if (parsed < min_value)
+                usageError(flag + " must be >= " + std::to_string(min_value)
+                           + ", got " + value);
+            return parsed;
         };
         if (flag == "--model")
             args.model = next();
@@ -93,13 +137,13 @@ parseCli(int argc, char **argv)
         else if (flag == "--compiler")
             args.compiler = next();
         else if (flag == "--batch")
-            args.batch = std::stoll(next());
+            args.batch = nextInt(1);
         else if (flag == "--seq")
-            args.seq = std::stoll(next());
+            args.seq = nextInt(1);
         else if (flag == "--decode")
-            args.decodeKv = std::stoll(next());
+            args.decodeKv = nextInt(0); // 0 == prefill, same as the default
         else if (flag == "--layers")
-            args.layers = std::stoll(next());
+            args.layers = nextInt(0); // 0 == keep the zoo's layer count
         else if (flag == "--out")
             args.outFile = next();
         else if (flag == "--stats")
@@ -107,13 +151,17 @@ parseCli(int argc, char **argv)
         else if (flag == "--optimize")
             args.optimize = true;
         else if (flag == "--help") {
-            std::cout << "see the header of src/tools/cmswitchc.cpp\n";
+            std::cout << kUsage;
+            std::exit(0);
+        } else if (flag == "--version") {
+            std::cout << "cmswitchc " << CMSWITCH_VERSION << "\n";
             std::exit(0);
         } else {
-            cmswitch_fatal("unknown flag '", flag, "'");
+            usageError("unknown flag '" + flag + "'");
         }
     }
-    cmswitch_fatal_if(args.model.empty(), "--model is required");
+    if (args.model.empty())
+        usageError("--model is required");
     return args;
 }
 
@@ -197,7 +245,7 @@ cliMain(int argc, char **argv)
               << ", compiled in "
               << formatDouble(result.compileSeconds, 3) << "s\n";
 
-    EnergyModel energy(deha, EnergyParams::dynaplasia());
+    EnergyModel energy(deha, EnergyParams::forChip(chip));
     EnergyReport joules = energy.price(result.program, result.totalCycles());
     std::cerr << "cmswitchc: estimated energy "
               << formatDouble(joules.totalUj(), 2) << " uJ\n";

@@ -1,0 +1,57 @@
+# CLI smoke test for cmswitchc, run as `cmake -DCMSWITCHC=<exe> -P
+# cli_smoke.cmake` from CTest. Checks exit codes and output shape of the
+# user-facing invocations; any failed check aborts with FATAL_ERROR.
+
+if(NOT CMSWITCHC)
+    message(FATAL_ERROR "pass -DCMSWITCHC=<path to cmswitchc>")
+endif()
+
+function(expect_exit code)
+    # Remaining arguments are the cmswitchc argv.
+    execute_process(COMMAND ${CMSWITCHC} ${ARGN}
+                    RESULT_VARIABLE result
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT result EQUAL ${code})
+        message(FATAL_ERROR "cmswitchc ${ARGN}: expected exit ${code}, "
+                            "got '${result}'\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(last_out "${out}" PARENT_SCOPE)
+    set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains haystack_var needle)
+    if(NOT "${${haystack_var}}" MATCHES "${needle}")
+        message(FATAL_ERROR "expected ${haystack_var} to contain '${needle}', "
+                            "got:\n${${haystack_var}}")
+    endif()
+endfunction()
+
+# No arguments: usage on stderr, exit 2.
+expect_exit(2)
+expect_contains(last_err "usage: cmswitchc")
+
+# Usage errors also exit 2 with a pointer at --help.
+expect_exit(2 --model)
+expect_contains(last_err "needs a value")
+expect_exit(2 --frobnicate)
+expect_contains(last_err "unknown flag")
+expect_exit(2 --model resnet18 --batch abc)
+expect_contains(last_err "needs an integer")
+expect_exit(2 --model resnet18 --batch -1)
+expect_contains(last_err "must be >= 1")
+
+# --help / --version succeed and describe the tool.
+expect_exit(0 --help)
+expect_contains(last_out "usage: cmswitchc")
+expect_contains(last_out "--compiler")
+expect_exit(0 --version)
+expect_contains(last_out "cmswitchc [0-9]+\\.[0-9]+")
+
+# Real compile: resnet18 on the default dynaplasia chip, stats only.
+expect_exit(0 --model resnet18 --chip dynaplasia --stats)
+expect_contains(last_err "resnet18")
+expect_contains(last_err "cycles")
+expect_contains(last_err "estimated energy")
+
+message(STATUS "cli_smoke: all checks passed")

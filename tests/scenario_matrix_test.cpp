@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Scenario matrix: sweep {dynaplasia, prime, tiny} chips x {resnet18,
+ * mobilenetv2, bert-base prefill, opt-6.7b decode} workloads x
+ * {cmswitch, cim-mlc, occ, puma} compilers and pin the cross-cutting
+ * invariants the paper's figures rely on:
+ *
+ *  - every cell produces a validator-clean meta-operator program;
+ *  - latency is positive and its breakdown sums to the total, energy is
+ *    positive with a non-negative breakdown;
+ *  - CMSwitch is never slower than any baseline on the same cell
+ *    (Fig. 14 dominance);
+ *  - decode workloads run a higher memory-mode array ratio than CNNs on
+ *    every chip (Fig. 1/16 motivation).
+ *
+ * Each claim lives here as a test rather than only as a bench figure,
+ * so perf/refactor PRs land against a green cross-product gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <tuple>
+
+#include "metaop/validator.hpp"
+#include "scenario_util.hpp"
+#include "sim/energy.hpp"
+
+namespace cmswitch {
+namespace {
+
+using ::cmswitch::testing::scenarioChip;
+using ::cmswitch::testing::scenarioChipNames;
+using ::cmswitch::testing::scenarioCompiler;
+using ::cmswitch::testing::scenarioCompilerNames;
+using ::cmswitch::testing::scenarioWorkload;
+using ::cmswitch::testing::scenarioWorkloadNames;
+
+/** gtest-safe name: parameter tuples joined with non-alnum squashed. */
+template <typename Tuple>
+std::string
+cellName(const ::testing::TestParamInfo<Tuple> &info)
+{
+    std::string joined = std::apply(
+        [](const auto &...part) {
+            std::string out;
+            ((out += out.empty() ? part : "__" + part), ...);
+            return out;
+        },
+        info.param);
+    for (char &c : joined)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return joined;
+}
+
+auto
+allChips()
+{
+    return ::testing::ValuesIn(scenarioChipNames());
+}
+
+auto
+allWorkloads()
+{
+    return ::testing::ValuesIn(scenarioWorkloadNames());
+}
+
+auto
+allCompilers()
+{
+    return ::testing::ValuesIn(scenarioCompilerNames());
+}
+
+/** One (chip, workload, compiler) cell of the matrix. */
+class ScenarioCell
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, std::string>>
+{
+};
+
+TEST_P(ScenarioCell, ProgramValidAndBreakdownsConsistent)
+{
+    auto [chip_name, workload_name, compiler_name] = GetParam();
+    ChipConfig chip = scenarioChip(chip_name);
+    Graph graph = scenarioWorkload(workload_name);
+    auto compiler = scenarioCompiler(compiler_name, chip);
+
+    CompileResult r = compiler->compile(graph);
+
+    Deha deha(chip);
+    ValidationReport report = validateProgram(r.program, deha);
+    EXPECT_TRUE(report.ok()) << report.summary();
+
+    // Latency: positive total, non-negative components, exact sum.
+    EXPECT_GT(r.totalCycles(), 0);
+    EXPECT_GE(r.latency.intra, 0);
+    EXPECT_GE(r.latency.writeback, 0);
+    EXPECT_GE(r.latency.modeSwitch, 0);
+    EXPECT_GE(r.latency.rewrite, 0);
+    EXPECT_EQ(r.totalCycles(), r.latency.intra + r.latency.writeback
+                                   + r.latency.modeSwitch
+                                   + r.latency.rewrite);
+
+    // Program shape: at least one segment, ratio is a valid fraction.
+    EXPECT_GE(r.numSegments(), 1);
+    EXPECT_GE(r.avgMemoryArrayRatio(), 0.0);
+    EXPECT_LE(r.avgMemoryArrayRatio(), 1.0);
+    EXPECT_GE(r.compileSeconds, 0.0);
+
+    // Energy: positive total, non-negative breakdown, components that
+    // must be exercised by any matmul workload actually are.
+    EnergyModel energy(deha, EnergyParams::forChip(chip));
+    EnergyReport joules = energy.price(r.program, r.totalCycles());
+    EXPECT_GE(joules.computePj, 0.0);
+    EXPECT_GE(joules.memoryPj, 0.0);
+    EXPECT_GE(joules.rewritePj, 0.0);
+    EXPECT_GE(joules.dmaPj, 0.0);
+    EXPECT_GE(joules.switchPj, 0.0);
+    EXPECT_GE(joules.fuPj, 0.0);
+    EXPECT_GE(joules.staticPj, 0.0);
+    EXPECT_GT(joules.computePj, 0.0) << "matmuls must cost MAC energy";
+    EXPECT_GT(joules.staticPj, 0.0) << "nonzero runtime must leak";
+    EXPECT_GT(joules.totalPj(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioCell,
+                         ::testing::Combine(allChips(), allWorkloads(),
+                                            allCompilers()),
+                         cellName<ScenarioCell::ParamType>);
+
+/** CMSwitch vs every baseline on one (chip, workload) pair. */
+class ScenarioDominance
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(ScenarioDominance, CmSwitchNeverSlowerThanAnyBaseline)
+{
+    auto [chip_name, workload_name] = GetParam();
+    ChipConfig chip = scenarioChip(chip_name);
+    Graph graph = scenarioWorkload(workload_name);
+
+    Cycles ours = scenarioCompiler("cmswitch", chip)->compile(graph)
+                      .totalCycles();
+    for (const std::string &baseline : scenarioCompilerNames()) {
+        if (baseline == "cmswitch")
+            continue;
+        Cycles theirs =
+            scenarioCompiler(baseline, chip)->compile(graph).totalCycles();
+        EXPECT_LE(ours, theirs)
+            << "cmswitch slower than " << baseline << " on " << chip_name
+            << " / " << workload_name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioDominance,
+                         ::testing::Combine(allChips(), allWorkloads()),
+                         cellName<ScenarioDominance::ParamType>);
+
+/** Decode steps want memory mode more than CNNs do, on every chip. */
+class ScenarioModePressure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioModePressure, DecodeRunsMoreMemoryModeThanCnn)
+{
+    ChipConfig chip = scenarioChip(GetParam());
+    auto compiler = scenarioCompiler("cmswitch", chip);
+    double decode_ratio =
+        compiler->compile(scenarioWorkload("opt-6.7b-decode"))
+            .avgMemoryArrayRatio();
+    double cnn_ratio = compiler->compile(scenarioWorkload("resnet18"))
+                           .avgMemoryArrayRatio();
+    EXPECT_GT(decode_ratio, cnn_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioModePressure, allChips(),
+                         [](const ::testing::TestParamInfo<std::string> &i) {
+                             return i.param;
+                         });
+
+} // namespace
+} // namespace cmswitch

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scenario-matrix vocabulary: named chips, workloads and compilers the
+ * cross-cutting sweeps iterate over (tests/scenario_matrix_test.cpp).
+ * Lives apart from test_util.hpp so the fast unit suites do not inherit
+ * the whole compiler/baselines/model-zoo header stack.
+ *
+ * Workloads are test-scale versions of the paper's benchmarks: CNNs at
+ * batch 1, transformers truncated to two layers — the same scale the
+ * e2e suites use, small enough that the 48-cell matrix stays seconds.
+ */
+
+#ifndef CMSWITCH_TESTS_SCENARIO_UTIL_HPP
+#define CMSWITCH_TESTS_SCENARIO_UTIL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "models/model_zoo.hpp"
+#include "support/logging.hpp"
+#include "test_util.hpp"
+
+namespace cmswitch::testing {
+
+inline std::vector<std::string>
+scenarioChipNames()
+{
+    return {"dynaplasia", "prime", "tiny"};
+}
+
+inline ChipConfig
+scenarioChip(const std::string &name)
+{
+    if (name == "dynaplasia")
+        return ChipConfig::dynaplasia();
+    if (name == "prime")
+        return ChipConfig::prime();
+    // 16 arrays of 128x128: big enough that an opt-6.7b matmul tiles in
+    // the thousands (not millions), tiny enough to stress multiplexing.
+    if (name == "tiny")
+        return tinyChip(16, 128);
+    cmswitch_fatal("unknown scenario chip '", name, "'");
+}
+
+inline std::vector<std::string>
+scenarioWorkloadNames()
+{
+    return {"resnet18", "mobilenetv2", "bert-base-prefill",
+            "opt-6.7b-decode"};
+}
+
+inline Graph
+scenarioWorkload(const std::string &name)
+{
+    if (name == "resnet18")
+        return buildResNet18(1);
+    if (name == "mobilenetv2")
+        return buildMobileNetV2(1);
+    if (name == "bert-base-prefill") {
+        TransformerConfig cfg = TransformerConfig::bertBase();
+        cfg.layers = 2;
+        return buildTransformerPrefill(cfg, 1, 64);
+    }
+    if (name == "opt-6.7b-decode") {
+        TransformerConfig cfg = TransformerConfig::opt6_7b();
+        cfg.layers = 2;
+        return buildTransformerDecodeStep(cfg, 1, 256);
+    }
+    cmswitch_fatal("unknown scenario workload '", name, "'");
+}
+
+/** Every registered compiler, so new baselines join the matrix free. */
+inline std::vector<std::string>
+scenarioCompilerNames()
+{
+    std::vector<std::string> names;
+    for (const auto &compiler : makeAllCompilers(tinyChip()))
+        names.push_back(compiler->name());
+    return names;
+}
+
+inline std::unique_ptr<Compiler>
+scenarioCompiler(const std::string &name, const ChipConfig &chip)
+{
+    for (auto &compiler : makeAllCompilers(chip))
+        if (compiler->name() == name)
+            return std::move(compiler);
+    cmswitch_fatal("unknown scenario compiler '", name, "'");
+}
+
+} // namespace cmswitch::testing
+
+#endif // CMSWITCH_TESTS_SCENARIO_UTIL_HPP

@@ -14,15 +14,15 @@
 
 namespace cmswitch::testing {
 
-/** A midget chip: 16x16 arrays, a handful of them. */
+/** A midget chip: @p rowsCols x @p rowsCols arrays, a handful of them. */
 inline ChipConfig
-tinyChip(s64 arrays = 8)
+tinyChip(s64 arrays = 8, s64 rowsCols = 16)
 {
     ChipConfig c;
     c.name = "tiny";
     c.numSwitchArrays = arrays;
-    c.arrayRows = 16;
-    c.arrayCols = 16;
+    c.arrayRows = rowsCols;
+    c.arrayCols = rowsCols;
     c.bufferBytes = 64;
     c.internalBwPerArray = 2.0;
     c.externBw = 4.0;
