@@ -12,11 +12,11 @@ namespace cmswitch {
 namespace {
 
 void
-printSchedule(const std::string &title, CmSwitchCompiler &compiler,
+printSchedule(const std::string &title, const CmSwitchCompiler &compiler,
               const Graph &graph, s64 max_segments)
 {
-    CompileResult r = compiler.compile(graph);
-    const ScheduleResult &schedule = compiler.lastSchedule();
+    ScheduleResult schedule;
+    CompileResult r = compiler.compileWithSchedule(graph, &schedule);
 
     Table t(title);
     t.addRow({"segment", "ops", "compute", "memory", "%compute", "%memory"});

@@ -1,5 +1,7 @@
 #include "arch/chip_config.hpp"
 
+#include <cctype>
+
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -12,6 +14,30 @@ arrayModeName(ArrayMode mode)
       case ArrayMode::kMemory: return "memory";
     }
     cmswitch_panic("unknown array mode");
+}
+
+const char *
+cellTechnologyName(CellTechnology tech)
+{
+    switch (tech) {
+      case CellTechnology::kEdram: return "edram";
+      case CellTechnology::kReram: return "reram";
+    }
+    cmswitch_panic("unknown cell technology");
+}
+
+CellTechnology
+parseCellTechnology(const std::string &text)
+{
+    std::string lower;
+    for (char c : text)
+        lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "edram")
+        return CellTechnology::kEdram;
+    if (lower == "reram")
+        return CellTechnology::kReram;
+    cmswitch_fatal("unknown cell technology '", text,
+                   "' (expected edram or reram)");
 }
 
 void
@@ -45,6 +71,7 @@ ChipConfig::prime()
 {
     ChipConfig c;
     c.name = "prime";
+    c.technology = CellTechnology::kReram;
     c.numSwitchArrays = 128;
     c.arrayRows = 512;
     c.arrayCols = 512;

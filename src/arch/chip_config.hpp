@@ -20,6 +20,18 @@ enum class ArrayMode { kCompute, kMemory };
 const char *arrayModeName(ArrayMode mode);
 
 /**
+ * Memory cell technology of the chip's arrays. Drives technology-
+ * dependent modelling (energy pricing); latency facts stay explicit
+ * ChipConfig fields.
+ */
+enum class CellTechnology { kEdram, kReram };
+
+const char *cellTechnologyName(CellTechnology tech);
+
+/** Parse "edram" / "reram" (case-insensitive); fatals on anything else. */
+CellTechnology parseCellTechnology(const std::string &text);
+
+/**
  * User-facing hardware description (paper Fig. 8). Bandwidths are in
  * bytes/cycle; latencies in cycles. Derived quantities of the latency
  * model (OP_cim, D_cim, D_main) are exposed as accessors.
@@ -27,6 +39,10 @@ const char *arrayModeName(ArrayMode mode);
 struct ChipConfig
 {
     std::string name = "dynaplasia";
+
+    /** Cell technology; selects EnergyParams pricing. User chip files
+     *  set it via `technology = edram|reram` and default to eDRAM. */
+    CellTechnology technology = CellTechnology::kEdram;
 
     /** @{ Array geometry (Table 2). */
     s64 numSwitchArrays = 96; ///< #_switch_array: dual-mode arrays on chip

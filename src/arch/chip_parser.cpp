@@ -30,6 +30,10 @@ setters()
 {
     static const std::map<std::string, Setter> table = {
         {"name", [](ChipConfig &c, const std::string &v) { c.name = v; }},
+        {"technology",
+         [](ChipConfig &c, const std::string &v) {
+             c.technology = parseCellTechnology(v);
+         }},
         {"num_switch_arrays",
          [](ChipConfig &c, const std::string &v) {
              c.numSwitchArrays = toInt(v);
@@ -119,6 +123,7 @@ serializeChipConfig(const ChipConfig &c)
 {
     std::ostringstream oss;
     oss << "name = " << c.name << "\n"
+        << "technology = " << cellTechnologyName(c.technology) << "\n"
         << "num_switch_arrays = " << c.numSwitchArrays << "\n"
         << "array_rows = " << c.arrayRows << "\n"
         << "array_cols = " << c.arrayCols << "\n"

@@ -1,5 +1,7 @@
 #include "baselines/baseline.hpp"
 
+#include "support/logging.hpp"
+
 namespace cmswitch {
 
 std::unique_ptr<Compiler>
@@ -18,6 +20,20 @@ makeAllCompilers(const ChipConfig &chip)
     out.push_back(makeCimMlcCompiler(chip));
     out.push_back(makeCmSwitchCompiler(chip));
     return out;
+}
+
+std::unique_ptr<Compiler>
+makeCompilerByName(const std::string &name, const ChipConfig &chip)
+{
+    if (name == "cmswitch")
+        return makeCmSwitchCompiler(chip);
+    if (name == "cim-mlc")
+        return makeCimMlcCompiler(chip);
+    if (name == "occ")
+        return makeOccCompiler(chip);
+    if (name == "puma")
+        return makePumaCompiler(chip);
+    cmswitch_fatal("unknown compiler '", name, "'");
 }
 
 } // namespace cmswitch

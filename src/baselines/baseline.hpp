@@ -40,6 +40,14 @@ std::unique_ptr<Compiler> makeCmSwitchCompiler(ChipConfig chip);
 /** All four, in the paper's plotting order (Fig. 14). */
 std::vector<std::unique_ptr<Compiler>> makeAllCompilers(const ChipConfig &chip);
 
+/**
+ * Compiler by registry id ("cmswitch", "cim-mlc", "occ", "puma");
+ * fatals on unknown ids. The single name->factory mapping shared by
+ * cmswitchc and the compile service.
+ */
+std::unique_ptr<Compiler> makeCompilerByName(const std::string &name,
+                                             const ChipConfig &chip);
+
 } // namespace cmswitch
 
 #endif // CMSWITCH_BASELINES_BASELINE_HPP

@@ -14,7 +14,14 @@ CmSwitchCompiler::CmSwitchCompiler(ChipConfig chip, CmSwitchOptions options,
 }
 
 CompileResult
-CmSwitchCompiler::compile(const Graph &graph)
+CmSwitchCompiler::compile(const Graph &graph) const
+{
+    return compileWithSchedule(graph, nullptr);
+}
+
+CompileResult
+CmSwitchCompiler::compileWithSchedule(const Graph &graph,
+                                      ScheduleResult *schedule_out) const
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -41,7 +48,8 @@ CmSwitchCompiler::compile(const Graph &graph)
     auto t1 = std::chrono::steady_clock::now();
     result.compileSeconds =
         std::chrono::duration<double>(t1 - t0).count();
-    lastSchedule_ = std::move(schedule);
+    if (schedule_out)
+        *schedule_out = std::move(schedule);
     return result;
 }
 

@@ -31,6 +31,10 @@ struct CmSwitchOptions
 /**
  * Dual-mode-aware DNN compiler (this paper). Also serves, with
  * restricted options, as the engine of the baseline compilers.
+ *
+ * Instances are immutable after construction; compile() builds all
+ * per-run state (segmenter, schedule) on the stack, so one compiler
+ * may be shared across threads.
  */
 class CmSwitchCompiler : public Compiler
 {
@@ -39,21 +43,24 @@ class CmSwitchCompiler : public Compiler
                               std::string name = "cmswitch");
 
     std::string name() const override { return name_; }
-    CompileResult compile(const Graph &graph) override;
+    CompileResult compile(const Graph &graph) const override;
+
+    /**
+     * compile() that also returns the schedule-level view (per-segment
+     * allocations) for reporting harnesses like the Fig. 15 bench.
+     */
+    CompileResult compileWithSchedule(const Graph &graph,
+                                      ScheduleResult *schedule) const;
 
     const Deha &deha() const { return deha_; }
     const CostModel &cost() const { return cost_; }
     const CmSwitchOptions &options() const { return options_; }
-
-    /** Schedule-level view of the last compilation (for reporting). */
-    const ScheduleResult &lastSchedule() const { return lastSchedule_; }
 
   private:
     Deha deha_;
     CostModel cost_;
     CmSwitchOptions options_;
     std::string name_;
-    ScheduleResult lastSchedule_;
 };
 
 } // namespace cmswitch

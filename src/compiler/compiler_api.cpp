@@ -1,0 +1,34 @@
+#include "compiler/compiler_api.hpp"
+
+#include "support/json.hpp"
+
+namespace cmswitch {
+
+void
+LatencyBreakdown::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("total", total())
+        .field("intra", intra)
+        .field("writeback", writeback)
+        .field("mode_switch", modeSwitch)
+        .field("rewrite", rewrite)
+        .endObject();
+}
+
+void
+CompileResult::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("model", program.modelName())
+        .field("segments", numSegments())
+        .field("avg_memory_array_ratio", avgMemoryArrayRatio())
+        .field("switched_arrays", program.totalSwitchedArrays())
+        .field("weight_load_bytes", program.totalWeightLoadBytes())
+        .field("writeback_bytes", program.totalWritebackBytes());
+    w.key("latency");
+    latency.writeJson(w);
+    w.endObject();
+}
+
+} // namespace cmswitch

@@ -17,6 +17,8 @@
 
 namespace cmswitch {
 
+class JsonWriter;
+
 /** Latency breakdown of a compiled network (compiler estimates). */
 struct LatencyBreakdown
 {
@@ -26,6 +28,9 @@ struct LatencyBreakdown
     Cycles rewrite = 0;   ///< Eq. 2 weight (re)programming
 
     Cycles total() const { return intra + writeback + modeSwitch + rewrite; }
+
+    /** Emit {"total", "intra", ...} as an object into @p w. */
+    void writeJson(JsonWriter &w) const;
 };
 
 /** Everything a compilation produces. */
@@ -41,9 +46,24 @@ struct CompileResult
     {
         return program.avgMemoryArrayRatio();
     }
+
+    /**
+     * Emit the content-deterministic view (segments, latency, ratios,
+     * program traffic totals) as an object into @p w. Deliberately
+     * excludes compileSeconds: report files must be byte-identical for
+     * identical requests regardless of machine load or thread count.
+     */
+    void writeJson(JsonWriter &w) const;
 };
 
-/** Abstract DNN-to-CIM compiler. */
+/**
+ * Abstract DNN-to-CIM compiler.
+ *
+ * Thread-safety contract: compile() is const and implementations must
+ * be safe to call concurrently on one instance — a compiler is
+ * immutable after construction. The compile service relies on this to
+ * share compiler instances across worker threads.
+ */
 class Compiler
 {
   public:
@@ -53,7 +73,7 @@ class Compiler
     virtual std::string name() const = 0;
 
     /** Compile @p graph for the chip this compiler was built with. */
-    virtual CompileResult compile(const Graph &graph) = 0;
+    virtual CompileResult compile(const Graph &graph) const = 0;
 };
 
 } // namespace cmswitch

@@ -131,6 +131,22 @@ flattenGraph(const Graph &graph, const Deha &deha,
                 }
             }
 
+            // Tiling guard: refuse pathological splits up front instead
+            // of handing the DP a many-thousand-op schedule.
+            s64 sub_count = ceilDiv(base.weightTiles, op_budget);
+            const ChipConfig &geom = deha.config();
+            cmswitch_fatal_if(
+                options.maxSubOpsPerOp > 0
+                    && sub_count > options.maxSubOpsPerOp,
+                "operator '", op.name, "' needs ", sub_count,
+                " sub-operators (", base.weightTiles, " weight tiles, ",
+                op_budget, " tiles/sub-op) on ", geom.name, "'s ",
+                geom.numSwitchArrays, " arrays of ", geom.arrayRows, "x",
+                geom.arrayCols, "; exceeds the tiling guard of ",
+                options.maxSubOpsPerOp,
+                " (arrays are likely too small for this model; raise "
+                "PartitionOptions::maxSubOpsPerOp to override)");
+
             std::vector<OpWorkload> slices = splitWorkload(base, op_budget);
             std::vector<s64> indices;
             for (std::size_t k = 0; k < slices.size(); ++k) {

@@ -61,6 +61,16 @@ struct PartitionOptions
      * Fixed-mode baselines leave this off (max-fill slicing).
      */
     bool dualModeAware = false;
+
+    /**
+     * Fail-fast ceiling on the sub-operators a single operator may
+     * split into. A chip whose arrays are far too small for a model
+     * (16x16 arrays under an opt-6.7b matmul) otherwise produces tens
+     * of thousands of slices and minutes of downstream DP search;
+     * exceeding the ceiling fatals immediately, naming the operator
+     * and the array geometry. 0 disables the guard.
+     */
+    s64 maxSubOpsPerOp = 4096;
 };
 
 /**

@@ -2,12 +2,26 @@
 
 #include <algorithm>
 
+#include "support/json.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
 
+void
+EndToEndResult::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("total_cycles", totalCycles())
+        .field("prefill_cycles", prefillCycles)
+        .field("decode_cycles", decodeCycles)
+        .field("switch_cycles", switchCycles)
+        .field("segments", segments)
+        .field("avg_memory_array_ratio", avgMemoryArrayRatio)
+        .endObject();
+}
+
 EndToEndResult
-evaluateGraph(Compiler &compiler, const Graph &graph)
+evaluateGraph(const Compiler &compiler, const Graph &graph)
 {
     CompileResult r = compiler.compile(graph);
     EndToEndResult out;
@@ -20,7 +34,7 @@ evaluateGraph(Compiler &compiler, const Graph &graph)
 }
 
 EndToEndResult
-evaluateGenerative(Compiler &compiler, const TransformerConfig &config,
+evaluateGenerative(const Compiler &compiler, const TransformerConfig &config,
                    s64 batch, s64 inputLen, s64 outputLen, s64 kvBuckets)
 {
     cmswitch_fatal_if(inputLen <= 0 || outputLen <= 0,
@@ -96,7 +110,7 @@ transformerConfigByName(const std::string &name)
 }
 
 EndToEndResult
-evaluateBenchmark(Compiler &compiler, const std::string &name, s64 batch,
+evaluateBenchmark(const Compiler &compiler, const std::string &name, s64 batch,
                   s64 seqLen)
 {
     for (const ZooEntry &entry : fig14Benchmarks()) {

@@ -18,6 +18,8 @@
 
 namespace cmswitch {
 
+class JsonWriter;
+
 /** Aggregated end-to-end numbers for one (compiler, workload) pair. */
 struct EndToEndResult
 {
@@ -29,17 +31,21 @@ struct EndToEndResult
     s64 segments = 0;
 
     Cycles totalCycles() const { return prefillCycles + decodeCycles; }
+
+    /** Emit the cycle/segment breakdown as an object into @p w
+     *  (excludes compileSeconds — see CompileResult::writeJson). */
+    void writeJson(JsonWriter &w) const;
 };
 
 /** Single-pass evaluation (CNNs / encoder-only models). */
-EndToEndResult evaluateGraph(Compiler &compiler, const Graph &graph);
+EndToEndResult evaluateGraph(const Compiler &compiler, const Graph &graph);
 
 /**
  * Generative evaluation: prefill of @p inputLen tokens, then
  * @p outputLen decode steps. Decode latency integrates over
  * @p kvBuckets representative KV lengths.
  */
-EndToEndResult evaluateGenerative(Compiler &compiler,
+EndToEndResult evaluateGenerative(const Compiler &compiler,
                                   const TransformerConfig &config, s64 batch,
                                   s64 inputLen, s64 outputLen,
                                   s64 kvBuckets = 4);
@@ -58,8 +64,9 @@ TransformerConfig transformerConfigByName(const std::string &name);
  * models run prefill + a short generation (outputLen = seqLen);
  * everything else runs one pass.
  */
-EndToEndResult evaluateBenchmark(Compiler &compiler, const std::string &name,
-                                 s64 batch, s64 seqLen = 64);
+EndToEndResult evaluateBenchmark(const Compiler &compiler,
+                                 const std::string &name, s64 batch,
+                                 s64 seqLen = 64);
 
 } // namespace cmswitch
 

@@ -1,0 +1,145 @@
+#include "service/compile_service.hpp"
+
+#include "arch/chip_parser.hpp"
+#include "baselines/baseline.hpp"
+#include "graph/passes.hpp"
+#include "graph/serialize.hpp"
+#include "support/hash.hpp"
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+std::string
+requestKey(const CompileRequest &request)
+{
+    // Hash canonical text serialisations, not struct bytes: padding and
+    // field order stay out of the key, and renaming a preset chip file
+    // to identical content still hits.
+    u64 h = fnv1a64(serializeChipConfig(request.chip));
+    h = fnv1a64(serializeGraph(request.workload), h);
+    h = fnv1a64(request.compilerId, h);
+    h = fnv1a64(request.optimize ? "|optimize" : "|raw", h);
+    return hexDigest(h);
+}
+
+ArtifactPtr
+compileArtifact(const CompileRequest &request)
+{
+    return compileArtifact(request, requestKey(request));
+}
+
+ArtifactPtr
+compileArtifact(const CompileRequest &request, std::string key)
+{
+    auto artifact = std::make_shared<CompileArtifact>();
+    artifact->key = std::move(key);
+    artifact->chip = request.chip;
+    artifact->compilerId = request.compilerId;
+
+    // Only the optimize path needs a mutable copy of the workload.
+    const Graph *graph = &request.workload;
+    Graph optimized;
+    if (request.optimize) {
+        optimized = request.workload;
+        artifact->passStats = runFrontendPasses(&optimized);
+        graph = &optimized;
+    }
+
+    auto compiler = makeCompilerByName(request.compilerId, request.chip);
+    artifact->result = compiler->compile(*graph);
+
+    Deha deha(request.chip);
+    artifact->validation = validateProgram(artifact->result.program, deha);
+    EnergyModel energy(deha, EnergyParams::forChip(request.chip));
+    artifact->energy = energy.price(artifact->result.program,
+                                    artifact->result.totalCycles());
+    return artifact;
+}
+
+CompileService::CompileService(CompileServiceOptions options)
+    : options_(options), cache_(options.cacheCapacity)
+{
+    cmswitch_fatal_if(options_.threads < 1,
+                      "compile service needs at least one worker thread");
+    workers_.reserve(static_cast<std::size_t>(options_.threads));
+    for (s64 i = 0; i < options_.threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<ArtifactPtr()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::future<ArtifactPtr>
+CompileService::submit(CompileRequest request)
+{
+    std::string key = requestKey(request); // hash before the move below
+    std::packaged_task<ArtifactPtr()> task(
+        [this, request = std::move(request),
+         key = std::move(key)]() -> ArtifactPtr {
+            return cache_.getOrCompute(key, [&request, &key] {
+                return compileArtifact(request, key);
+            });
+        });
+    std::future<ArtifactPtr> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cmswitch_fatal_if(stopping_,
+                          "submit() on a stopping compile service");
+        ++requests_;
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+ArtifactPtr
+CompileService::compileNow(const CompileRequest &request)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++requests_;
+    }
+    std::string key = requestKey(request);
+    return cache_.getOrCompute(key, [&request, &key] {
+        return compileArtifact(request, key);
+    });
+}
+
+CompileServiceStats
+CompileService::stats() const
+{
+    CompileServiceStats out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.requests = requests_;
+    }
+    out.cache = cache_.stats();
+    return out;
+}
+
+} // namespace cmswitch

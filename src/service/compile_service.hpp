@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The compilation service: a fixed-size worker pool in front of the
+ * compiler registry and a content-keyed plan cache.
+ *
+ * The paper's CMSwitch flow is a batch compiler; serving traffic needs
+ * (a) concurrency — many independent (chip, workload, compiler)
+ * requests compiled in parallel, (b) reuse — identical requests must
+ * compile once and share the immutable artifact, and (c) single-flight
+ * — concurrent identical requests must block on the one in-flight
+ * compile instead of duplicating it. CompileService provides all three
+ * on top of PlanCache; Compiler instances are const/thread-safe (see
+ * compiler_api.hpp), so workers never share mutable compiler state.
+ *
+ * Artifacts carry everything a report needs (program, latency,
+ * validation, energy), and are immutable once published — safe to hand
+ * to any number of threads.
+ */
+
+#ifndef CMSWITCH_SERVICE_COMPILE_SERVICE_HPP
+#define CMSWITCH_SERVICE_COMPILE_SERVICE_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/chip_config.hpp"
+#include "compiler/compiler_api.hpp"
+#include "graph/passes.hpp"
+#include "metaop/validator.hpp"
+#include "service/plan_cache.hpp"
+#include "sim/energy.hpp"
+
+namespace cmswitch {
+
+/** One compilation job: resolved chip + graph + compiler + options. */
+struct CompileRequest
+{
+    ChipConfig chip;
+    Graph workload;
+    std::string compilerId = "cmswitch";
+
+    /** Run the frontend graph passes before compiling. */
+    bool optimize = false;
+};
+
+/**
+ * Canonical content key of @p request: an FNV-1a digest over the
+ * textual serialisations of the chip config and workload graph plus
+ * the compiler id and option flags. Two requests with equal keys
+ * compile to identical artifacts.
+ */
+std::string requestKey(const CompileRequest &request);
+
+/** Immutable product of one compile; shared across equal requests. */
+struct CompileArtifact
+{
+    std::string key;          ///< requestKey() of the producing request
+    ChipConfig chip;
+    std::string compilerId;
+    CompileResult result;
+    ValidationReport validation;
+    EnergyReport energy;
+    PassStats passStats;      ///< frontend-pass effects (optimize only)
+};
+
+/**
+ * Compile @p request in the calling thread, bypassing any cache:
+ * resolve the compiler, run it, validate the program against the chip
+ * and price its energy. This is the one compile path — service workers
+ * and `cmswitchc` single-shot mode both funnel through it.
+ * The two-argument form takes a precomputed requestKey() so hot paths
+ * hash the request once.
+ */
+ArtifactPtr compileArtifact(const CompileRequest &request);
+ArtifactPtr compileArtifact(const CompileRequest &request, std::string key);
+
+struct CompileServiceOptions
+{
+    s64 threads = 1;        ///< worker pool size (>= 1)
+    s64 cacheCapacity = 256;///< completed plans kept (>= 1)
+};
+
+/** Snapshot of service activity. */
+struct CompileServiceStats
+{
+    s64 requests = 0; ///< submit() + compileNow() calls accepted
+    PlanCacheStats cache;
+};
+
+class CompileService
+{
+  public:
+    explicit CompileService(CompileServiceOptions options = {});
+    ~CompileService(); ///< drains the queue, joins the workers
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /** Enqueue @p request on the pool; the future may rethrow. */
+    std::future<ArtifactPtr> submit(CompileRequest request);
+
+    /**
+     * Compile @p request through the cache in the *calling* thread
+     * (no queue hop). Safe to mix with submit(): single-flight still
+     * holds across both paths.
+     */
+    ArtifactPtr compileNow(const CompileRequest &request);
+
+    CompileServiceStats stats() const;
+
+    const CompileServiceOptions &options() const { return options_; }
+
+  private:
+    void workerLoop();
+
+    CompileServiceOptions options_;
+    PlanCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::packaged_task<ArtifactPtr()>> queue_;
+    bool stopping_ = false;
+    s64 requests_ = 0;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_COMPILE_SERVICE_HPP

@@ -1,0 +1,37 @@
+#include "service/json_report.hpp"
+
+#include "support/json.hpp"
+
+namespace cmswitch {
+
+void
+writeCompileReport(JsonWriter &w, const CompileArtifact &artifact)
+{
+    w.beginObject()
+        .field("schema", kCompileReportSchema)
+        .field("key", artifact.key)
+        .field("model", artifact.result.program.modelName())
+        .field("chip", artifact.chip.name)
+        .field("technology", cellTechnologyName(artifact.chip.technology))
+        .field("compiler", artifact.compilerId)
+        .field("valid", artifact.validation.ok());
+    w.key("validation_problems").beginArray();
+    for (const std::string &problem : artifact.validation.problems)
+        w.value(problem);
+    w.endArray();
+    w.key("result");
+    artifact.result.writeJson(w);
+    w.key("energy");
+    artifact.energy.writeJson(w);
+    w.endObject();
+}
+
+std::string
+renderCompileReport(const CompileArtifact &artifact)
+{
+    JsonWriter w;
+    writeCompileReport(w, artifact);
+    return w.str();
+}
+
+} // namespace cmswitch

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JSON report rendering for compile artifacts — the machine-readable
+ * output of `cmswitchc --emit-json` and every per-job file of
+ * `cmswitchc batch`. The schema is documented field-by-field in
+ * README.md ("JSON report schema"); bump kCompileReportSchema when it
+ * changes shape.
+ *
+ * Reports are *content-deterministic*: two artifacts for the same
+ * request key render to byte-identical text, independent of thread
+ * count, machine load, or which run produced them. Wall-clock values
+ * (compile seconds) therefore live only in the batch summary, never in
+ * a report.
+ */
+
+#ifndef CMSWITCH_SERVICE_JSON_REPORT_HPP
+#define CMSWITCH_SERVICE_JSON_REPORT_HPP
+
+#include <string>
+
+#include "service/compile_service.hpp"
+
+namespace cmswitch {
+
+/** Schema tag stamped into every per-compile report. */
+inline constexpr const char *kCompileReportSchema =
+    "cmswitch-compile-report-v1";
+
+/** Render @p artifact as an indented JSON document (trailing newline). */
+std::string renderCompileReport(const CompileArtifact &artifact);
+
+/** writeJson-style hook for embedding a report into a larger document. */
+void writeCompileReport(JsonWriter &w, const CompileArtifact &artifact);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_JSON_REPORT_HPP

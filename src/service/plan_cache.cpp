@@ -1,0 +1,88 @@
+#include "service/plan_cache.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+PlanCache::PlanCache(s64 capacity) : capacity_(capacity)
+{
+    cmswitch_fatal_if(capacity_ < 1, "plan cache capacity must be >= 1");
+}
+
+ArtifactPtr
+PlanCache::getOrCompute(const std::string &key,
+                        const std::function<ArtifactPtr()> &compute)
+{
+    std::promise<ArtifactPtr> promise;
+    std::shared_future<ArtifactPtr> shared;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            if (it->second.ready)
+                lru_.splice(lru_.end(), lru_, it->second.lruPos);
+            shared = it->second.future;
+        } else {
+            ++stats_.misses;
+            owner = true;
+            shared = promise.get_future().share();
+            Entry entry;
+            entry.future = shared;
+            entries_.emplace(key, std::move(entry));
+        }
+    }
+
+    if (!owner)
+        return shared.get(); // blocks on an in-flight owner; may rethrow
+
+    ArtifactPtr made;
+    try {
+        made = compute();
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key); // let a later request retry
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    promise.set_value(made);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        cmswitch_assert(it != entries_.end(), "owner entry vanished");
+        it->second.ready = true;
+        it->second.lruPos = lru_.insert(lru_.end(), key);
+        evictOverCapacity();
+    }
+    return made;
+}
+
+void
+PlanCache::evictOverCapacity()
+{
+    while (static_cast<s64>(lru_.size()) > capacity_) {
+        entries_.erase(lru_.front());
+        lru_.pop_front();
+        ++stats_.evictions;
+    }
+}
+
+s64
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<s64>(lru_.size());
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace cmswitch

@@ -1,5 +1,6 @@
 #include "sim/energy.hpp"
 
+#include "support/json.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -23,7 +24,26 @@ EnergyParams::prime()
 EnergyParams
 EnergyParams::forChip(const ChipConfig &chip)
 {
-    return chip.name == "prime" ? prime() : dynaplasia();
+    switch (chip.technology) {
+      case CellTechnology::kReram: return prime();
+      case CellTechnology::kEdram: return dynaplasia();
+    }
+    cmswitch_panic("unknown cell technology");
+}
+
+void
+EnergyReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("total_pj", totalPj())
+        .field("compute_pj", computePj)
+        .field("memory_pj", memoryPj)
+        .field("rewrite_pj", rewritePj)
+        .field("dma_pj", dmaPj)
+        .field("switch_pj", switchPj)
+        .field("fu_pj", fuPj)
+        .field("static_pj", staticPj)
+        .endObject();
 }
 
 EnergyModel::EnergyModel(const Deha &deha, EnergyParams params)

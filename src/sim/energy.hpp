@@ -22,6 +22,8 @@
 
 namespace cmswitch {
 
+class JsonWriter;
+
 /** Per-event energy costs (picojoules). */
 struct EnergyParams
 {
@@ -40,10 +42,10 @@ struct EnergyParams
     static EnergyParams prime();
 
     /**
-     * Technology-matched parameters for @p chip: the PRIME preset is
-     * ReRAM, everything else (dynaplasia, tiny/test chips, user chip
-     * files) is priced as eDRAM-like. The one place that mapping
-     * lives — tools and tests must not re-derive it.
+     * Technology-matched parameters for @p chip, keyed on
+     * ChipConfig::technology (ReRAM => prime(), eDRAM => dynaplasia()).
+     * The one place that mapping lives — tools and tests must not
+     * re-derive it.
      */
     static EnergyParams forChip(const ChipConfig &chip);
 };
@@ -65,6 +67,9 @@ struct EnergyReport
              + staticPj;
     }
     double totalUj() const { return totalPj() * 1e-6; }
+
+    /** Emit the full picojoule breakdown as an object into @p w. */
+    void writeJson(JsonWriter &w) const;
 };
 
 /**

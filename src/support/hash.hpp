@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FNV-1a 64-bit content hashing for cache keys. Not cryptographic; used
+ * where a stable, platform-independent fingerprint of a canonical text
+ * serialisation is needed (the compile-service plan cache).
+ */
+
+#ifndef CMSWITCH_SUPPORT_HASH_HPP
+#define CMSWITCH_SUPPORT_HASH_HPP
+
+#include <string>
+#include <string_view>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** FNV-1a over @p data, continuing from @p seed (chainable). */
+constexpr u64
+fnv1a64(std::string_view data, u64 seed = 0xcbf29ce484222325ull)
+{
+    u64 h = seed;
+    for (char c : data) {
+        h ^= static_cast<u64>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** @p value as 16 lowercase hex digits (stable key/file-name form). */
+inline std::string
+hexDigest(u64 value)
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_HASH_HPP

@@ -1,0 +1,232 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    cmswitch_assert(std::isfinite(value),
+                    "JSON cannot represent non-finite number");
+    // Shortest decimal that round-trips: locale-independent and
+    // byte-stable across runs, which the determinism tests rely on.
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    cmswitch_assert(ec == std::errc(), "double formatting failed");
+    std::string out(buf, end);
+    // Integral doubles print as "42" — valid JSON, keep as-is.
+    return out;
+}
+
+JsonWriter::JsonWriter(int indent) : indent_(indent) {}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(scopes_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (scopes_.empty()) {
+        cmswitch_assert(!rootWritten_, "JSON document already complete");
+        rootWritten_ = true;
+        return;
+    }
+    if (scopes_.back() == Scope::kObject) {
+        cmswitch_assert(keyPending_, "object member needs a key() first");
+        keyPending_ = false;
+        return;
+    }
+    // Array element: separator + layout handled here.
+    if (hasEntries_.back())
+        out_ += ',';
+    newlineIndent();
+    hasEntries_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    cmswitch_assert(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                    "key() outside an object");
+    cmswitch_assert(!keyPending_, "two key() calls without a value");
+    if (hasEntries_.back())
+        out_ += ',';
+    newlineIndent();
+    hasEntries_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    scopes_.push_back(Scope::kObject);
+    hasEntries_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    cmswitch_assert(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                    "endObject() without matching beginObject()");
+    cmswitch_assert(!keyPending_, "dangling key() at endObject()");
+    bool had = hasEntries_.back();
+    scopes_.pop_back();
+    hasEntries_.pop_back();
+    if (had)
+        newlineIndent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    scopes_.push_back(Scope::kArray);
+    hasEntries_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    cmswitch_assert(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                    "endArray() without matching beginArray()");
+    bool had = hasEntries_.back();
+    scopes_.pop_back();
+    hasEntries_.pop_back();
+    if (had)
+        newlineIndent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(s64 number)
+{
+    beforeValue();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    out_ += jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view name, std::string_view text)
+{
+    return key(name).value(text);
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view name, const char *text)
+{
+    return key(name).value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view name, s64 number)
+{
+    return key(name).value(number);
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view name, double number)
+{
+    return key(name).value(number);
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view name, bool flag)
+{
+    return key(name).value(flag);
+}
+
+std::string
+JsonWriter::str() const
+{
+    cmswitch_assert(scopes_.empty(), "str() with open containers");
+    cmswitch_assert(rootWritten_, "str() on an empty document");
+    return out_ + "\n";
+}
+
+} // namespace cmswitch

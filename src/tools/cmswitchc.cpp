@@ -2,25 +2,38 @@
  * @file
  * cmswitchc — command-line driver for the CMSwitch compiler.
  *
+ * Two modes:
+ *   cmswitchc --model ... [options]   single compile (the classic CLI)
+ *   cmswitchc batch --jobs FILE ...   many compiles through the
+ *                                     thread-pooled compile service
+ *
  * Flags, defaults and examples live in one place: the kUsage text
  * below, printed by `cmswitchc --help`. Running without arguments
  * prints the same text and exits with status 2, as does any malformed
  * invocation; semantic errors (unknown model/chip) exit 1 via fatal().
  */
 
+#include <cctype>
+#include <chrono>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "arch/chip_parser.hpp"
 #include "baselines/baseline.hpp"
 #include "eval/evaluation.hpp"
-#include "graph/passes.hpp"
 #include "graph/serialize.hpp"
 #include "metaop/printer.hpp"
 #include "metaop/validator.hpp"
+#include "service/compile_service.hpp"
+#include "service/json_report.hpp"
 #include "sim/energy.hpp"
 #include "sim/timing.hpp"
+#include "support/json.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 
@@ -33,6 +46,7 @@ namespace {
 
 const char kUsage[] =
     R"(usage: cmswitchc --model <zoo-name | file.graph> [options]
+       cmswitchc batch --jobs <file> --out-dir <dir> [batch options]
 
 Compile a DNN for a dual-mode CIM chip and report the schedule.
 
@@ -51,13 +65,27 @@ Options:
   --layers N          override transformer layer count
   --optimize          run the frontend graph passes before compiling
   --out FILE          write the meta-operator program to FILE
+  --emit-json FILE    write the machine-readable compile report to
+                      FILE (schema: see README "JSON report schema")
   --stats             print the latency/energy breakdown only
   --help              print this message and exit
   --version           print the version and exit
 
+Batch mode compiles one job per line of the jobs file (each line is a
+list of the single-mode flags above; '#' starts a comment) through a
+worker pool with a shared content-keyed plan cache, writing one JSON
+report per job plus an aggregate summary:
+  --jobs FILE            job list (required)
+  --out-dir DIR          directory for per-job reports (required)
+  --threads N            worker threads (default 1)
+  --summary FILE         summary path (default: <out-dir>/summary.json)
+  --cache-capacity N     compiled plans kept in memory (default 256)
+
 Examples:
   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
   cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
+  cmswitchc --model resnet18 --emit-json resnet18.json --stats
+  cmswitchc batch --jobs jobs.txt --threads 4 --out-dir reports/
 )";
 
 /** CLI usage error: complain, point at --help, exit 2 (not a crash). */
@@ -79,6 +107,7 @@ struct CliArgs
     s64 decodeKv = 0;
     s64 layers = 0;
     std::string outFile;
+    std::string emitJson;
     bool statsOnly = false;
     bool optimize = false;
 };
@@ -99,36 +128,57 @@ fileExists(const std::string &path)
     return static_cast<bool>(std::ifstream(path));
 }
 
-CliArgs
-parseCli(int argc, char **argv)
+/** "<context>: <msg>", or just @p msg for the bare command line. */
+std::string
+inContext(const std::string &context, const std::string &msg)
 {
-    if (argc <= 1) {
-        std::cerr << kUsage;
-        std::exit(2);
+    return context.empty() ? msg : context + ": " + msg;
+}
+
+/** Parse @p value as an integer >= @p min_value; usage error naming
+ *  @p flag (and @p context) otherwise. Shared by every flag parser. */
+s64
+parseIntToken(const std::string &flag, const std::string &value,
+              s64 min_value, const std::string &context)
+{
+    s64 parsed = 0;
+    try {
+        size_t used = 0;
+        parsed = std::stoll(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+    } catch (const std::exception &) {
+        usageError(inContext(context, flag + " needs an integer, got '"
+                                          + value + "'"));
     }
+    if (parsed < min_value)
+        usageError(inContext(context,
+                             flag + " must be >= "
+                                 + std::to_string(min_value) + ", got "
+                                 + value));
+    return parsed;
+}
+
+/**
+ * Parse single-mode flags from @p tokens. @p context names the source
+ * in errors ("" for the command line, "jobs file line N" for batch).
+ */
+CliArgs
+parseFlags(const std::vector<std::string> &tokens, const std::string &context)
+{
     CliArgs args;
-    for (int i = 1; i < argc; ++i) {
-        std::string flag = argv[i];
+    auto where = [&](const std::string &msg) {
+        return inContext(context, msg);
+    };
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &flag = tokens[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usageError(flag + " needs a value");
-            return argv[++i];
+            if (i + 1 >= tokens.size())
+                usageError(where(flag + " needs a value"));
+            return tokens[++i];
         };
         auto nextInt = [&](s64 min_value) -> s64 {
-            std::string value = next();
-            s64 parsed = 0;
-            try {
-                size_t used = 0;
-                parsed = std::stoll(value, &used);
-                if (used != value.size())
-                    throw std::invalid_argument(value);
-            } catch (const std::exception &) {
-                usageError(flag + " needs an integer, got '" + value + "'");
-            }
-            if (parsed < min_value)
-                usageError(flag + " must be >= " + std::to_string(min_value)
-                           + ", got " + value);
-            return parsed;
+            return parseIntToken(flag, next(), min_value, context);
         };
         if (flag == "--model")
             args.model = next();
@@ -146,23 +196,36 @@ parseCli(int argc, char **argv)
             args.layers = nextInt(0); // 0 == keep the zoo's layer count
         else if (flag == "--out")
             args.outFile = next();
+        else if (flag == "--emit-json")
+            args.emitJson = next();
         else if (flag == "--stats")
             args.statsOnly = true;
         else if (flag == "--optimize")
             args.optimize = true;
-        else if (flag == "--help") {
+        else if (flag == "--help" && context.empty()) {
             std::cout << kUsage;
             std::exit(0);
-        } else if (flag == "--version") {
+        } else if (flag == "--version" && context.empty()) {
             std::cout << "cmswitchc " << CMSWITCH_VERSION << "\n";
             std::exit(0);
         } else {
-            usageError("unknown flag '" + flag + "'");
+            usageError(where("unknown flag '" + flag + "'"));
         }
     }
     if (args.model.empty())
-        usageError("--model is required");
+        usageError(where("--model is required"));
     return args;
+}
+
+CliArgs
+parseCli(int argc, char **argv)
+{
+    if (argc <= 1) {
+        std::cerr << kUsage;
+        std::exit(2);
+    }
+    std::vector<std::string> tokens(argv + 1, argv + argc);
+    return parseFlags(tokens, "");
 }
 
 ChipConfig
@@ -175,20 +238,6 @@ resolveChip(const std::string &name)
     if (fileExists(name))
         return parseChipConfig(readFile(name));
     cmswitch_fatal("unknown chip '", name, "' (not a preset, not a file)");
-}
-
-std::unique_ptr<Compiler>
-resolveCompiler(const std::string &name, const ChipConfig &chip)
-{
-    if (name == "cmswitch")
-        return makeCmSwitchCompiler(chip);
-    if (name == "cim-mlc")
-        return makeCimMlcCompiler(chip);
-    if (name == "occ")
-        return makeOccCompiler(chip);
-    if (name == "puma")
-        return makePumaCompiler(chip);
-    cmswitch_fatal("unknown compiler '", name, "'");
 }
 
 Graph
@@ -212,29 +261,56 @@ resolveModel(const CliArgs &args)
     return buildTransformerPrefill(cfg, args.batch, args.seq);
 }
 
-} // namespace
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    cmswitch_fatal_if(!out, "cannot write ", path);
+    out << text;
+}
+
+/** Lowercase token safe for file names: non-alnum squashed to '-'. */
+std::string
+sanitizeToken(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!out.empty() && out.back() != '-')
+            out += '-';
+    }
+    while (!out.empty() && out.back() == '-')
+        out.pop_back();
+    return out.empty() ? "job" : out;
+}
 
 int
-cliMain(int argc, char **argv)
+singleMain(int argc, char **argv)
 {
     CliArgs args = parseCli(argc, argv);
-    ChipConfig chip = resolveChip(args.chip);
-    Graph model = resolveModel(args);
+
+    // The passes run inside compileArtifact (driven by request.optimize)
+    // so a single-mode compile and the identical batch job line hash to
+    // the same request key.
+    CompileRequest request;
+    request.chip = resolveChip(args.chip);
+    request.workload = resolveModel(args);
+    request.compilerId = args.compiler;
+    request.optimize = args.optimize;
+    ArtifactPtr artifact = compileArtifact(request);
     if (args.optimize) {
-        PassStats stats = runFrontendPasses(&model);
         std::cerr << "cmswitchc: frontend passes removed "
-                  << stats.removedOps << " op(s)\n";
+                  << artifact->passStats.removedOps << " op(s)\n";
     }
-    auto compiler = resolveCompiler(args.compiler, chip);
 
-    CompileResult result = compiler->compile(model);
+    const CompileResult &result = artifact->result;
+    cmswitch_fatal_if(!artifact->validation.ok(),
+                      "generated program failed validation:\n",
+                      artifact->validation.summary());
 
-    Deha deha(chip);
-    ValidationReport report = validateProgram(result.program, deha);
-    cmswitch_fatal_if(!report.ok(), "generated program failed validation:\n",
-                      report.summary());
-
-    std::cerr << "cmswitchc: " << model.name() << " -> "
+    std::cerr << "cmswitchc: " << result.program.modelName() << " -> "
               << result.numSegments() << " segments, "
               << result.totalCycles() << " cycles (intra "
               << result.latency.intra << ", write-back "
@@ -244,25 +320,232 @@ cliMain(int argc, char **argv)
               << formatDouble(result.avgMemoryArrayRatio(), 3)
               << ", compiled in "
               << formatDouble(result.compileSeconds, 3) << "s\n";
-
-    EnergyModel energy(deha, EnergyParams::forChip(chip));
-    EnergyReport joules = energy.price(result.program, result.totalCycles());
     std::cerr << "cmswitchc: estimated energy "
-              << formatDouble(joules.totalUj(), 2) << " uJ\n";
+              << formatDouble(artifact->energy.totalUj(), 2) << " uJ\n";
+
+    if (!args.emitJson.empty()) {
+        writeTextFile(args.emitJson, renderCompileReport(*artifact));
+        std::cerr << "cmswitchc: report written to " << args.emitJson
+                  << "\n";
+    }
 
     if (!args.statsOnly) {
         std::string text = printProgram(result.program);
         if (args.outFile.empty()) {
             std::cout << text;
         } else {
-            std::ofstream out(args.outFile);
-            cmswitch_fatal_if(!out, "cannot write ", args.outFile);
-            out << text;
+            writeTextFile(args.outFile, text);
             std::cerr << "cmswitchc: program written to " << args.outFile
                       << "\n";
         }
     }
     return 0;
+}
+
+/** One parsed batch job: the request plus report bookkeeping. */
+struct BatchJob
+{
+    CompileRequest request;
+    std::string key;
+    std::string model, chip, compiler;
+    std::string reportFile;
+    bool expectHit = false; ///< key already submitted by an earlier job
+};
+
+struct BatchArgs
+{
+    std::string jobsFile;
+    std::string outDir;
+    std::string summaryFile;
+    s64 threads = 1;
+    s64 cacheCapacity = 256;
+};
+
+BatchArgs
+parseBatchArgs(int argc, char **argv)
+{
+    BatchArgs args;
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError(flag + " needs a value");
+            return argv[++i];
+        };
+        auto nextInt = [&](s64 min_value) -> s64 {
+            return parseIntToken(flag, next(), min_value, "");
+        };
+        if (flag == "--jobs")
+            args.jobsFile = next();
+        else if (flag == "--out-dir")
+            args.outDir = next();
+        else if (flag == "--summary")
+            args.summaryFile = next();
+        else if (flag == "--threads")
+            args.threads = nextInt(1);
+        else if (flag == "--cache-capacity")
+            args.cacheCapacity = nextInt(1);
+        else if (flag == "--help") {
+            std::cout << kUsage;
+            std::exit(0);
+        } else {
+            usageError("unknown batch flag '" + flag + "'");
+        }
+    }
+    if (args.jobsFile.empty())
+        usageError("batch mode requires --jobs");
+    if (args.outDir.empty())
+        usageError("batch mode requires --out-dir");
+    if (args.summaryFile.empty())
+        args.summaryFile = (std::filesystem::path(args.outDir)
+                            / "summary.json").string();
+    return args;
+}
+
+std::vector<BatchJob>
+parseJobs(const BatchArgs &batch)
+{
+    std::vector<BatchJob> jobs;
+    std::istringstream iss(readFile(batch.jobsFile));
+    std::string line;
+    s64 line_no = 0;
+    std::map<std::string, bool> seen;
+    while (std::getline(iss, line)) {
+        ++line_no;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+
+        std::vector<std::string> tokens;
+        std::istringstream ls(t);
+        std::string tok;
+        while (ls >> tok)
+            tokens.push_back(tok);
+
+        std::string context =
+            batch.jobsFile + " line " + std::to_string(line_no);
+        CliArgs args = parseFlags(tokens, context);
+        if (!args.outFile.empty() || !args.emitJson.empty()
+            || args.statsOnly) {
+            usageError(context + ": --out/--emit-json/--stats are not "
+                       "valid in batch jobs (reports are written to "
+                       "--out-dir)");
+        }
+
+        BatchJob job;
+        job.request.chip = resolveChip(args.chip);
+        job.request.workload = resolveModel(args);
+        job.request.compilerId = args.compiler;
+        job.request.optimize = args.optimize;
+        job.key = requestKey(job.request);
+        job.model = args.model;
+        job.chip = args.chip;
+        job.compiler = args.compiler;
+        job.expectHit = seen[job.key];
+        seen[job.key] = true;
+
+        std::ostringstream name;
+        name << "job" << std::setw(3) << std::setfill('0') << jobs.size()
+             << "_" << sanitizeToken(job.model) << "_"
+             << sanitizeToken(job.chip) << "_"
+             << sanitizeToken(job.compiler) << ".json";
+        job.reportFile = name.str();
+        jobs.push_back(std::move(job));
+    }
+    cmswitch_fatal_if(jobs.empty(), batch.jobsFile, " contains no jobs");
+    return jobs;
+}
+
+int
+batchMain(int argc, char **argv)
+{
+    BatchArgs batch = parseBatchArgs(argc, argv);
+    std::vector<BatchJob> jobs = parseJobs(batch);
+    std::filesystem::create_directories(batch.outDir);
+
+    auto t0 = std::chrono::steady_clock::now();
+    CompileService service(
+        {.threads = batch.threads, .cacheCapacity = batch.cacheCapacity});
+
+    std::vector<std::future<ArtifactPtr>> futures;
+    futures.reserve(jobs.size());
+    for (const BatchJob &job : jobs)
+        futures.push_back(service.submit(job.request));
+
+    s64 invalid = 0;
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        // Drop the ArtifactPtr as soon as its report is on disk: the
+        // plan cache (bounded by --cache-capacity) is the only thing
+        // keeping plans alive across jobs.
+        ArtifactPtr artifact = futures[k].get();
+        if (!artifact->validation.ok()) {
+            ++invalid;
+            warn("batch job ", k, " (", jobs[k].model, " / ",
+                 jobs[k].chip, " / ", jobs[k].compiler,
+                 ") failed validation:\n",
+                 artifact->validation.summary());
+        }
+        writeTextFile((std::filesystem::path(batch.outDir)
+                       / jobs[k].reportFile).string(),
+                      renderCompileReport(*artifact));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+
+    CompileServiceStats stats = service.stats();
+    JsonWriter w;
+    w.beginObject()
+        .field("schema", "cmswitch-batch-summary-v1")
+        .field("jobs", static_cast<s64>(jobs.size()))
+        .field("threads", batch.threads)
+        .field("invalid_jobs", invalid)
+        .field("wall_seconds", wall);
+    w.key("cache")
+        .beginObject()
+        .field("capacity", batch.cacheCapacity)
+        .field("hits", stats.cache.hits)
+        .field("misses", stats.cache.misses)
+        .field("evictions", stats.cache.evictions)
+        .endObject();
+    w.key("job_reports").beginArray();
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        w.beginObject()
+            .field("index", static_cast<s64>(k))
+            .field("report", jobs[k].reportFile)
+            .field("key", jobs[k].key)
+            .field("model", jobs[k].model)
+            .field("chip", jobs[k].chip)
+            .field("compiler", jobs[k].compiler)
+            // First submission of a key compiles, repeats hit the plan
+            // cache — derived from submission order, so deterministic
+            // under any thread count. If --cache-capacity is smaller
+            // than the unique-key count, evicted repeats recompile and
+            // the aggregate counters above will exceed these labels.
+            .field("cache", jobs[k].expectHit ? "hit" : "miss")
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
+    writeTextFile(batch.summaryFile, w.str());
+
+    std::cerr << "cmswitchc: batch of " << jobs.size() << " job(s) on "
+              << batch.threads << " thread(s): " << stats.cache.misses
+              << " compiled, " << stats.cache.hits << " cache hit(s), "
+              << invalid << " invalid, in " << formatDouble(wall, 2)
+              << "s\n"
+              << "cmswitchc: summary written to " << batch.summaryFile
+              << "\n";
+    return invalid == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+cliMain(int argc, char **argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "batch")
+        return batchMain(argc, argv);
+    return singleMain(argc, argv);
 }
 
 } // namespace cmswitch

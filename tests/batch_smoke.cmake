@@ -1,0 +1,130 @@
+# The `cmswitchc batch` acceptance gate: drive the full 3-chip x
+# 4-workload x 4-compiler scenario matrix (plus duplicated jobs)
+# through the compile service on 4 threads, and require
+#   - exit 0 with validator-clean plans for every job,
+#   - a cache hit for every repeated request key,
+#   - per-job JSON byte-identical to the --threads 1 run.
+# Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P batch_smoke.cmake`.
+
+if(NOT CMSWITCHC)
+    message(FATAL_ERROR "pass -DCMSWITCHC=<path to cmswitchc>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# The tests' "tiny" scenario chip (testing::tinyChip(16, 128)), spelled
+# as a user chip file so the CLI exercises the file-parsing path too.
+set(tiny_chip ${WORK_DIR}/tiny.chip)
+file(WRITE ${tiny_chip} "\
+name = tiny
+technology = edram
+num_switch_arrays = 16
+array_rows = 128
+array_cols = 128
+buffer_bytes = 64
+internal_bw = 2
+extern_bw = 4
+buffer_bw = 1
+op_per_cycle = 8
+write_row_latency = 2
+fu_ops_per_cycle = 16
+")
+
+# Scenario workloads at the e2e suites' scale (transformers at 2 layers).
+set(workloads
+    "--model resnet18"
+    "--model mobilenetv2"
+    "--model bert-base --layers 2 --seq 64"
+    "--model opt-6.7b --decode 256 --layers 2")
+set(compilers cmswitch cim-mlc occ puma)
+
+set(jobs "# full scenario matrix\n")
+foreach(chip dynaplasia prime ${tiny_chip})
+    foreach(workload IN LISTS workloads)
+        foreach(compiler IN LISTS compilers)
+            string(APPEND jobs
+                   "${workload} --chip ${chip} --compiler ${compiler}\n")
+        endforeach()
+    endforeach()
+endforeach()
+# Repeat four matrix cells so the cache sees duplicate keys.
+string(APPEND jobs
+       "--model resnet18 --chip dynaplasia --compiler cmswitch\n"
+       "--model resnet18 --chip prime --compiler puma\n"
+       "--model opt-6.7b --decode 256 --layers 2 --chip ${tiny_chip} --compiler cmswitch\n"
+       "--model bert-base --layers 2 --seq 64 --chip dynaplasia --compiler occ\n")
+set(jobs_file ${WORK_DIR}/jobs.txt)
+file(WRITE ${jobs_file} "${jobs}")
+
+function(run_batch threads out_dir)
+    execute_process(COMMAND ${CMSWITCHC} batch --jobs ${jobs_file}
+                            --threads ${threads} --out-dir ${out_dir}
+                    RESULT_VARIABLE result
+                    ERROR_VARIABLE err)
+    if(NOT result EQUAL 0)
+        message(FATAL_ERROR "cmswitchc batch --threads ${threads} failed "
+                            "(${result}):\n${err}")
+    endif()
+endfunction()
+
+run_batch(4 ${WORK_DIR}/mt)
+run_batch(1 ${WORK_DIR}/serial)
+
+# Summary sanity: 52 jobs, 48 unique keys -> 4 hits, none invalid.
+file(READ ${WORK_DIR}/mt/summary.json summary)
+# expect_summary(<expected> <path...>)
+function(expect_summary expected)
+    string(JSON actual GET "${summary}" ${ARGN})
+    if(NOT actual STREQUAL expected)
+        message(FATAL_ERROR "summary ${ARGN}: expected '${expected}', "
+                            "got '${actual}'")
+    endif()
+endfunction()
+expect_summary(52 jobs)
+expect_summary(0 invalid_jobs)
+expect_summary(48 cache misses)
+expect_summary(4 cache hits)
+
+# Every repeated request key must be reported as a cache hit.
+string(JSON job_count LENGTH "${summary}" job_reports)
+math(EXPR last "${job_count} - 1")
+set(hits 0)
+foreach(k RANGE ${last})
+    string(JSON cache GET "${summary}" job_reports ${k} cache)
+    if(cache STREQUAL "hit")
+        math(EXPR hits "${hits} + 1")
+    endif()
+endforeach()
+if(NOT hits EQUAL 4)
+    message(FATAL_ERROR "expected 4 per-job cache hits, got ${hits}")
+endif()
+
+# Per-job reports must be byte-identical across thread counts, and
+# every one of them validator-clean.
+file(GLOB reports RELATIVE ${WORK_DIR}/mt ${WORK_DIR}/mt/job*.json)
+list(LENGTH reports report_count)
+if(NOT report_count EQUAL 52)
+    message(FATAL_ERROR "expected 52 per-job reports, got ${report_count}")
+endif()
+foreach(report IN LISTS reports)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${WORK_DIR}/mt/${report}
+                            ${WORK_DIR}/serial/${report}
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${report} differs between --threads 4 and "
+                            "--threads 1")
+    endif()
+    file(READ ${WORK_DIR}/mt/${report} doc)
+    string(JSON valid GET "${doc}" valid)
+    if(NOT valid STREQUAL "ON")
+        message(FATAL_ERROR "${report} is not validator-clean")
+    endif()
+endforeach()
+
+message(STATUS "batch_smoke: ${report_count} jobs, 4 cache hits, "
+               "byte-identical across thread counts")

@@ -34,6 +34,7 @@ TEST(ChipParser, RoundTripsEveryField)
     original.bufferBytes = 12345;
     ChipConfig back = parseChipConfig(serializeChipConfig(original));
     EXPECT_EQ(back.name, original.name);
+    EXPECT_EQ(back.technology, original.technology);
     EXPECT_EQ(back.numSwitchArrays, original.numSwitchArrays);
     EXPECT_EQ(back.arrayRows, original.arrayRows);
     EXPECT_EQ(back.arrayCols, original.arrayCols);
@@ -54,6 +55,26 @@ TEST(ChipParser, CommentsAndBlanksIgnored)
 {
     ChipConfig c = parseChipConfig("\n# comment only\n\n");
     EXPECT_EQ(c.name, ChipConfig().name);
+}
+
+TEST(ChipParser, TechnologyDefaultsToEdram)
+{
+    ChipConfig c = parseChipConfig("name = user-chip");
+    EXPECT_EQ(c.technology, CellTechnology::kEdram);
+}
+
+TEST(ChipParser, TechnologyParsedCaseInsensitively)
+{
+    EXPECT_EQ(parseChipConfig("technology = ReRAM").technology,
+              CellTechnology::kReram);
+    EXPECT_EQ(parseChipConfig("technology = eDRAM").technology,
+              CellTechnology::kEdram);
+}
+
+TEST(ChipParserDeath, UnknownTechnologyIsFatal)
+{
+    EXPECT_EXIT(parseChipConfig("technology = memristor"),
+                ::testing::ExitedWithCode(1), "unknown cell technology");
 }
 
 TEST(ChipParserDeath, UnknownKeyIsFatal)

@@ -132,5 +132,26 @@ TEST(Energy, DynamicWeightsPayArrayWrites)
     EXPECT_GT(e.fuPj, 0.0); // softmax / layernorm happened
 }
 
+TEST(Energy, ForChipKeysOnTechnologyNotName)
+{
+    // A user chip file describing a ReRAM part must get ReRAM pricing
+    // even though its display name is not "prime" (ROADMAP bug).
+    ChipConfig user = testing::tinyChip(8);
+    user.name = "my-reram-part";
+    user.technology = CellTechnology::kReram;
+    EXPECT_DOUBLE_EQ(EnergyParams::forChip(user).arrayWritePjPerByte,
+                     EnergyParams::prime().arrayWritePjPerByte);
+
+    // And renaming a chip "prime" does not buy ReRAM pricing.
+    ChipConfig edram = testing::tinyChip(8);
+    edram.name = "prime";
+    EXPECT_DOUBLE_EQ(EnergyParams::forChip(edram).arrayWritePjPerByte,
+                     EnergyParams::dynaplasia().arrayWritePjPerByte);
+
+    EXPECT_DOUBLE_EQ(
+        EnergyParams::forChip(ChipConfig::prime()).arrayWritePjPerByte,
+        EnergyParams::prime().arrayWritePjPerByte);
+}
+
 } // namespace
 } // namespace cmswitch

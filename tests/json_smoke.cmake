@@ -1,0 +1,62 @@
+# Smoke test for `cmswitchc --emit-json`: compile resnet18, then
+# consume the machine-readable report with CMake's JSON parser instead
+# of regexing stderr (the ROADMAP "bench drivers reparse stderr" item).
+# Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P json_smoke.cmake`.
+
+if(NOT CMSWITCHC)
+    message(FATAL_ERROR "pass -DCMSWITCHC=<path to cmswitchc>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(report ${WORK_DIR}/resnet18.json)
+
+execute_process(COMMAND ${CMSWITCHC} --model resnet18 --stats
+                        --emit-json ${report}
+                RESULT_VARIABLE result
+                ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+    message(FATAL_ERROR "cmswitchc --emit-json failed (${result}):\n${err}")
+endif()
+
+file(READ ${report} doc)
+
+# expect_json_equal(<expected> <path...>) / expect_json_positive(<path...>)
+function(expect_json_equal expected)
+    string(JSON actual GET "${doc}" ${ARGN})
+    if(NOT actual STREQUAL expected)
+        message(FATAL_ERROR "report ${ARGN}: expected '${expected}', "
+                            "got '${actual}'")
+    endif()
+endfunction()
+
+function(expect_json_positive)
+    string(JSON actual GET "${doc}" ${ARGN})
+    if(NOT actual GREATER 0)
+        message(FATAL_ERROR "report ${ARGN}: expected > 0, got '${actual}'")
+    endif()
+endfunction()
+
+expect_json_equal("cmswitch-compile-report-v1" schema)
+expect_json_equal("dynaplasia" chip)
+expect_json_equal("edram" technology)
+expect_json_equal("cmswitch" compiler)
+expect_json_equal("ON" valid)  # CMake renders JSON true as ON
+expect_json_positive(result segments)
+expect_json_positive(result latency total)
+expect_json_positive(energy total_pj)
+
+# The latency breakdown must sum to the total, checked from JSON alone.
+string(JSON total GET "${doc}" result latency total)
+string(JSON intra GET "${doc}" result latency intra)
+string(JSON writeback GET "${doc}" result latency writeback)
+string(JSON mode_switch GET "${doc}" result latency mode_switch)
+string(JSON rewrite GET "${doc}" result latency rewrite)
+math(EXPR sum "${intra} + ${writeback} + ${mode_switch} + ${rewrite}")
+if(NOT sum EQUAL total)
+    message(FATAL_ERROR "latency breakdown ${sum} != total ${total}")
+endif()
+
+message(STATUS "json_smoke: all checks passed")

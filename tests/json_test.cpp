@@ -1,0 +1,130 @@
+/** @file Tests for the ordered JSON writer (support/json.hpp). */
+
+#include <gtest/gtest.h>
+
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace cmswitch {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+    EXPECT_EQ(jsonEscape("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(JsonNumber, IntegralDoublesStayShort)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-7.0), "-7");
+}
+
+TEST(JsonNumber, RoundTripsExactly)
+{
+    // Shortest round-trip form: parsing the text recovers the bits.
+    for (double v : {0.1, 1.0 / 3.0, 3.141592653589793, 1e-30, 2.5e17}) {
+        std::string text = jsonNumber(v);
+        EXPECT_EQ(std::stod(text), v) << text;
+    }
+}
+
+TEST(JsonWriter, GoldenNestedDocument)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", "resnet18")
+        .field("segments", s64{5})
+        .field("ratio", 0.25)
+        .field("valid", true);
+    w.key("latency").beginObject().field("total", s64{10}).endObject();
+    w.key("tags").beginArray().value("a").value("b").endArray();
+    w.key("empty").beginArray().endArray();
+    w.endObject();
+
+    EXPECT_EQ(w.str(), R"({
+  "name": "resnet18",
+  "segments": 5,
+  "ratio": 0.25,
+  "valid": true,
+  "latency": {
+    "total": 10
+  },
+  "tags": [
+    "a",
+    "b"
+  ],
+  "empty": []
+}
+)");
+}
+
+TEST(JsonWriter, CompactModeOmitsWhitespace)
+{
+    JsonWriter w(0);
+    w.beginObject().field("a", s64{1});
+    w.key("b").beginArray().value(s64{2}).value(s64{3}).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2,3]}\n");
+}
+
+TEST(JsonWriter, KeysKeepInsertionOrder)
+{
+    JsonWriter w(0);
+    w.beginObject()
+        .field("zebra", s64{1})
+        .field("alpha", s64{2})
+        .field("mid", s64{3})
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}\n");
+}
+
+TEST(JsonWriter, EscapesInsideKeysAndValues)
+{
+    JsonWriter w(0);
+    w.beginObject().field("we\"ird", "va\\lue\n").endObject();
+    EXPECT_EQ(w.str(), "{\"we\\\"ird\":\"va\\\\lue\\n\"}\n");
+}
+
+TEST(JsonWriterDeath, ValueWithoutKeyPanics)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH(w.value(s64{1}), "needs a key");
+}
+
+TEST(JsonWriterDeath, StrWithOpenContainerPanics)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH(w.str(), "open containers");
+}
+
+TEST(JsonWriterDeath, NonFiniteNumberPanics)
+{
+    EXPECT_DEATH(jsonNumber(1.0 / 0.0), "non-finite");
+}
+
+TEST(Fnv1a, StableAndSensitive)
+{
+    // Pinned digest: the cache key format must not drift silently
+    // (persisted keys/reports reference it).
+    EXPECT_EQ(hexDigest(fnv1a64("")), "cbf29ce484222325");
+    EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+    // Chaining differs from concatenation of independent hashes but is
+    // equivalent to hashing the concatenation.
+    EXPECT_EQ(fnv1a64("def", fnv1a64("abc")), fnv1a64("abcdef"));
+}
+
+} // namespace
+} // namespace cmswitch

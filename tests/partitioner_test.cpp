@@ -143,5 +143,48 @@ TEST(Partitioner, SoftmaxFoldsOntoScoreOp)
     EXPECT_TRUE(found);
 }
 
+TEST(Partitioner, TilingGuardAllowsReasonableSplits)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(3, 64);
+    PartitionOptions options;
+    options.maxSubOpsPerOp = 64;
+    auto ops = flattenGraph(g, deha, options);
+    EXPECT_GE(ops.size(), 3u);
+}
+
+TEST(PartitionerDeath, TilingGuardTripsOnMidgetArrays)
+{
+    // The ROADMAP blowup: 16x16 arrays under an opt-6.7b decode matmul
+    // tile combinatorially. The guard must fail fast, naming the op
+    // and the geometry, instead of minutes of downstream search.
+    Deha deha(testing::tinyChip(16, 16));
+    TransformerConfig cfg = TransformerConfig::opt6_7b();
+    cfg.layers = 1;
+    Graph g = buildTransformerDecodeStep(cfg, 1, 128);
+    EXPECT_EXIT(flattenGraph(g, deha), ::testing::ExitedWithCode(1),
+                "exceeds the tiling guard");
+}
+
+TEST(PartitionerDeath, TilingGuardCeilingConfigurable)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(1, 64);
+    PartitionOptions options;
+    options.maxSubOpsPerOp = 1; // 64x64 weights need >1 sub-op on 16x16
+    EXPECT_EXIT(flattenGraph(g, deha, options),
+                ::testing::ExitedWithCode(1), "exceeds the tiling guard");
+}
+
+TEST(Partitioner, TilingGuardZeroDisables)
+{
+    Deha deha(testing::tinyChip(8));
+    Graph g = testing::chainMlp(1, 64);
+    PartitionOptions options;
+    options.maxSubOpsPerOp = 0;
+    auto ops = flattenGraph(g, deha, options);
+    EXPECT_GE(ops.size(), 1u);
+}
+
 } // namespace
 } // namespace cmswitch

@@ -15,6 +15,10 @@
  *
  * Each claim lives here as a test rather than only as a bench figure,
  * so perf/refactor PRs land against a green cross-product gate.
+ *
+ * All compiles route through testing::scenarioCompile's shared plan
+ * cache: the dominance and mode-pressure sweeps reuse the cell sweep's
+ * plans instead of recompiling each (chip, workload, compiler) pair.
  */
 
 #include <gtest/gtest.h>
@@ -23,18 +27,14 @@
 #include <string>
 #include <tuple>
 
-#include "metaop/validator.hpp"
 #include "scenario_util.hpp"
-#include "sim/energy.hpp"
 
 namespace cmswitch {
 namespace {
 
-using ::cmswitch::testing::scenarioChip;
 using ::cmswitch::testing::scenarioChipNames;
-using ::cmswitch::testing::scenarioCompiler;
+using ::cmswitch::testing::scenarioCompile;
 using ::cmswitch::testing::scenarioCompilerNames;
-using ::cmswitch::testing::scenarioWorkload;
 using ::cmswitch::testing::scenarioWorkloadNames;
 
 /** gtest-safe name: parameter tuples joined with non-alnum squashed. */
@@ -83,15 +83,11 @@ class ScenarioCell
 TEST_P(ScenarioCell, ProgramValidAndBreakdownsConsistent)
 {
     auto [chip_name, workload_name, compiler_name] = GetParam();
-    ChipConfig chip = scenarioChip(chip_name);
-    Graph graph = scenarioWorkload(workload_name);
-    auto compiler = scenarioCompiler(compiler_name, chip);
+    ArtifactPtr artifact =
+        scenarioCompile(chip_name, workload_name, compiler_name);
+    const CompileResult &r = artifact->result;
 
-    CompileResult r = compiler->compile(graph);
-
-    Deha deha(chip);
-    ValidationReport report = validateProgram(r.program, deha);
-    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(artifact->validation.ok()) << artifact->validation.summary();
 
     // Latency: positive total, non-negative components, exact sum.
     EXPECT_GT(r.totalCycles(), 0);
@@ -111,8 +107,7 @@ TEST_P(ScenarioCell, ProgramValidAndBreakdownsConsistent)
 
     // Energy: positive total, non-negative breakdown, components that
     // must be exercised by any matmul workload actually are.
-    EnergyModel energy(deha, EnergyParams::forChip(chip));
-    EnergyReport joules = energy.price(r.program, r.totalCycles());
+    const EnergyReport &joules = artifact->energy;
     EXPECT_GE(joules.computePj, 0.0);
     EXPECT_GE(joules.memoryPj, 0.0);
     EXPECT_GE(joules.rewritePj, 0.0);
@@ -139,16 +134,13 @@ class ScenarioDominance
 TEST_P(ScenarioDominance, CmSwitchNeverSlowerThanAnyBaseline)
 {
     auto [chip_name, workload_name] = GetParam();
-    ChipConfig chip = scenarioChip(chip_name);
-    Graph graph = scenarioWorkload(workload_name);
-
-    Cycles ours = scenarioCompiler("cmswitch", chip)->compile(graph)
-                      .totalCycles();
+    Cycles ours = scenarioCompile(chip_name, workload_name, "cmswitch")
+                      ->result.totalCycles();
     for (const std::string &baseline : scenarioCompilerNames()) {
         if (baseline == "cmswitch")
             continue;
-        Cycles theirs =
-            scenarioCompiler(baseline, chip)->compile(graph).totalCycles();
+        Cycles theirs = scenarioCompile(chip_name, workload_name, baseline)
+                            ->result.totalCycles();
         EXPECT_LE(ours, theirs)
             << "cmswitch slower than " << baseline << " on " << chip_name
             << " / " << workload_name;
@@ -166,13 +158,11 @@ class ScenarioModePressure : public ::testing::TestWithParam<std::string>
 
 TEST_P(ScenarioModePressure, DecodeRunsMoreMemoryModeThanCnn)
 {
-    ChipConfig chip = scenarioChip(GetParam());
-    auto compiler = scenarioCompiler("cmswitch", chip);
     double decode_ratio =
-        compiler->compile(scenarioWorkload("opt-6.7b-decode"))
-            .avgMemoryArrayRatio();
-    double cnn_ratio = compiler->compile(scenarioWorkload("resnet18"))
-                           .avgMemoryArrayRatio();
+        scenarioCompile(GetParam(), "opt-6.7b-decode", "cmswitch")
+            ->result.avgMemoryArrayRatio();
+    double cnn_ratio = scenarioCompile(GetParam(), "resnet18", "cmswitch")
+                           ->result.avgMemoryArrayRatio();
     EXPECT_GT(decode_ratio, cnn_ratio);
 }
 

@@ -19,6 +19,7 @@
 
 #include "baselines/baseline.hpp"
 #include "models/model_zoo.hpp"
+#include "service/compile_service.hpp"
 #include "support/logging.hpp"
 #include "test_util.hpp"
 
@@ -81,13 +82,29 @@ scenarioCompilerNames()
     return names;
 }
 
-inline std::unique_ptr<Compiler>
-scenarioCompiler(const std::string &name, const ChipConfig &chip)
+/**
+ * Compile one scenario cell through a process-wide plan cache, so the
+ * cross-cutting sweeps (validator cells, dominance, mode pressure)
+ * reuse each (chip, workload, compiler) plan instead of compiling it
+ * once per sweep. Artifacts are immutable and shared — do not mutate.
+ */
+inline ArtifactPtr
+scenarioCompile(const std::string &chip_name,
+                const std::string &workload_name,
+                const std::string &compiler_name)
 {
-    for (auto &compiler : makeAllCompilers(chip))
-        if (compiler->name() == name)
-            return std::move(compiler);
-    cmswitch_fatal("unknown scenario compiler '", name, "'");
+    // A bare PlanCache (no worker pool — everything compiles in the
+    // calling thread), big enough that one full matrix (48 cells)
+    // never evicts: every repeat in-process is a guaranteed hit.
+    static PlanCache cache(128);
+    CompileRequest request;
+    request.chip = scenarioChip(chip_name);
+    request.workload = scenarioWorkload(workload_name);
+    request.compilerId = compiler_name;
+    std::string key = requestKey(request);
+    return cache.getOrCompute(key, [&request, &key] {
+        return compileArtifact(request, key);
+    });
 }
 
 } // namespace cmswitch::testing
