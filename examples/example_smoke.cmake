@@ -1,0 +1,23 @@
+# Smoke-run one example binary: it must exit 0 and actually say
+# something (an example that prints nothing teaches nothing, and an
+# empty stdout+stderr usually means it silently did no work).
+# Run as `cmake -DEXAMPLE=<exe> -P example_smoke.cmake`.
+
+if(NOT EXAMPLE)
+    message(FATAL_ERROR "pass -DEXAMPLE=<path to example binary>")
+endif()
+
+execute_process(COMMAND ${EXAMPLE}
+                RESULT_VARIABLE result
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+    message(FATAL_ERROR "${EXAMPLE} exited ${result}:\n${out}${err}")
+endif()
+
+string(STRIP "${out}${err}" combined)
+if(combined STREQUAL "")
+    message(FATAL_ERROR "${EXAMPLE} produced no output")
+endif()
+
+message(STATUS "example_smoke: ${EXAMPLE} exited 0 with output")

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "support/logging.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
 
@@ -54,6 +55,52 @@ ChipConfig::validate() const
                       "switch latencies must be >= 0");
     cmswitch_fatal_if(writeRowLatency <= 0, "write latency must be positive");
     cmswitch_fatal_if(fuOpsPerCycle <= 0.0, "FU throughput must be positive");
+}
+
+void
+ChipConfig::writeBinary(BinaryWriter &w) const
+{
+    w.writeString(name);
+    w.writeS64(static_cast<s64>(technology));
+    w.writeS64(numSwitchArrays);
+    w.writeS64(arrayRows);
+    w.writeS64(arrayCols);
+    w.writeS64(bufferBytes);
+    w.writeF64(internalBwPerArray);
+    w.writeF64(externBw);
+    w.writeF64(bufferBw);
+    w.writeF64(opPerCycle);
+    w.writeString(switchMethod);
+    w.writeS64(switchC2mLatency);
+    w.writeS64(switchM2cLatency);
+    w.writeS64(writeRowLatency);
+    w.writeS64(readRowLatency);
+    w.writeF64(fuOpsPerCycle);
+}
+
+ChipConfig
+ChipConfig::readBinary(BinaryReader &r)
+{
+    ChipConfig c;
+    c.name = r.readString();
+    c.technology = static_cast<CellTechnology>(
+        r.readBounded(static_cast<s64>(CellTechnology::kReram),
+                      "cell technology"));
+    c.numSwitchArrays = r.readS64();
+    c.arrayRows = r.readS64();
+    c.arrayCols = r.readS64();
+    c.bufferBytes = r.readS64();
+    c.internalBwPerArray = r.readF64();
+    c.externBw = r.readF64();
+    c.bufferBw = r.readF64();
+    c.opPerCycle = r.readF64();
+    c.switchMethod = r.readString();
+    c.switchC2mLatency = r.readS64();
+    c.switchM2cLatency = r.readS64();
+    c.writeRowLatency = r.readS64();
+    c.readRowLatency = r.readS64();
+    c.fuOpsPerCycle = r.readF64();
+    return c;
 }
 
 ChipConfig

@@ -14,6 +14,9 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** Operating mode of one dual-mode CIM array. */
 enum class ArrayMode { kCompute, kMemory };
 
@@ -97,6 +100,11 @@ struct ChipConfig
 
     /** fatal()s if any parameter is non-physical (user error). */
     void validate() const;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static ChipConfig readBinary(BinaryReader &r); ///< throws SerializeError
+    /** @} */
 
     /** @{ Presets. */
     /** Dynaplasia-style eDRAM chip (Table 2); the default target. */

@@ -1,6 +1,7 @@
 #include "compiler/compiler_api.hpp"
 
 #include "support/json.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
 
@@ -29,6 +30,44 @@ CompileResult::writeJson(JsonWriter &w) const
     w.key("latency");
     latency.writeJson(w);
     w.endObject();
+}
+
+void
+LatencyBreakdown::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(intra);
+    w.writeS64(writeback);
+    w.writeS64(modeSwitch);
+    w.writeS64(rewrite);
+}
+
+LatencyBreakdown
+LatencyBreakdown::readBinary(BinaryReader &r)
+{
+    LatencyBreakdown b;
+    b.intra = r.readS64();
+    b.writeback = r.readS64();
+    b.modeSwitch = r.readS64();
+    b.rewrite = r.readS64();
+    return b;
+}
+
+void
+CompileResult::writeBinary(BinaryWriter &w) const
+{
+    program.writeBinary(w);
+    latency.writeBinary(w);
+    w.writeF64(compileSeconds);
+}
+
+CompileResult
+CompileResult::readBinary(BinaryReader &r)
+{
+    CompileResult result;
+    result.program = MetaProgram::readBinary(r);
+    result.latency = LatencyBreakdown::readBinary(r);
+    result.compileSeconds = r.readF64();
+    return result;
 }
 
 } // namespace cmswitch

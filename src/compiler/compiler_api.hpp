@@ -17,6 +17,8 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
 class JsonWriter;
 
 /** Latency breakdown of a compiled network (compiler estimates). */
@@ -31,6 +33,11 @@ struct LatencyBreakdown
 
     /** Emit {"total", "intra", ...} as an object into @p w. */
     void writeJson(JsonWriter &w) const;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static LatencyBreakdown readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /** Everything a compilation produces. */
@@ -54,6 +61,12 @@ struct CompileResult
      * identical requests regardless of machine load or thread count.
      */
     void writeJson(JsonWriter &w) const;
+
+    /** @{ Exact binary round-trip (including compileSeconds, which the
+     *  JSON report deliberately omits). */
+    void writeBinary(BinaryWriter &w) const;
+    static CompileResult readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /**

@@ -5,8 +5,69 @@
 #include <map>
 
 #include "support/logging.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
+
+void
+OpWorkload::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(opId);
+    w.writeString(name);
+    w.writeS64(static_cast<s64>(kind));
+    w.writeS64(static_cast<s64>(cls));
+    w.writeS64(macs);
+    w.writeS64(weightBytes);
+    w.writeS64(inputBytes);
+    w.writeS64(outputBytes);
+    w.writeS64(vectorElems);
+    w.writeS64(weightTiles);
+    w.writeF64(utilization);
+    w.writeS64(movingRows);
+    w.writeBool(dynamicWeights);
+    w.writeF64(aiMacsPerByte);
+}
+
+OpWorkload
+OpWorkload::readBinary(BinaryReader &r)
+{
+    OpWorkload w;
+    w.opId = static_cast<OpId>(r.readS64());
+    w.name = r.readString();
+    w.kind = static_cast<OpKind>(
+        r.readBounded(static_cast<s64>(OpKind::kConcat), "op kind"));
+    w.cls = static_cast<OpClass>(
+        r.readBounded(static_cast<s64>(OpClass::kClassifier), "op class"));
+    w.macs = r.readS64();
+    w.weightBytes = r.readS64();
+    w.inputBytes = r.readS64();
+    w.outputBytes = r.readS64();
+    w.vectorElems = r.readS64();
+    w.weightTiles = r.readS64();
+    w.utilization = r.readF64();
+    w.movingRows = r.readS64();
+    w.dynamicWeights = r.readBool();
+    w.aiMacsPerByte = r.readF64();
+    return w;
+}
+
+void
+OpAllocation::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(computeArrays);
+    w.writeS64(memInArrays);
+    w.writeS64(memOutArrays);
+}
+
+OpAllocation
+OpAllocation::readBinary(BinaryReader &r)
+{
+    OpAllocation a;
+    a.computeArrays = r.readS64();
+    a.memInArrays = r.readS64();
+    a.memOutArrays = r.readS64();
+    return a;
+}
 
 OpWorkload
 makeWorkload(const Graph &graph, OpId id, const Deha &deha)

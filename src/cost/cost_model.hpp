@@ -21,6 +21,9 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /**
  * A CIM-schedulable unit of work: one (possibly partitioned) CIM
  * operator plus any function-unit epilogue fused onto it. All shape
@@ -48,6 +51,11 @@ struct OpWorkload
 
     /** Total streamed bytes (weights + activations). */
     s64 trafficBytes() const { return weightBytes + inputBytes + outputBytes; }
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static OpWorkload readBinary(BinaryReader &r); ///< throws SerializeError
+    /** @} */
 };
 
 /** Build the workload record for CIM op @p id (no partitioning). */
@@ -62,6 +70,11 @@ struct OpAllocation
 
     s64 memoryArrays() const { return memInArrays + memOutArrays; } ///< Mem_Oi
     s64 total() const { return computeArrays + memoryArrays(); }
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static OpAllocation readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /**

@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
+
+void
+PassStats::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(removedOps);
+    w.writeS64(removedTensors);
+}
+
+PassStats
+PassStats::readBinary(BinaryReader &r)
+{
+    PassStats stats;
+    stats.removedOps = r.readS64();
+    stats.removedTensors = r.readS64();
+    return stats;
+}
 
 namespace {
 

@@ -13,11 +13,19 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** Statistics returned by a pass run. */
 struct PassStats
 {
     s64 removedOps = 0;
     s64 removedTensors = 0;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static PassStats readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /**

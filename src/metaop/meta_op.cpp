@@ -1,6 +1,7 @@
 #include "metaop/meta_op.hpp"
 
 #include "support/logging.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
 
@@ -81,6 +82,39 @@ MetaOp::makeFuCompute(const std::string &target, s64 elems)
     op.kind = MetaOpKind::kFuCompute;
     op.target = target;
     op.work.vectorElems = elems;
+    return op;
+}
+
+void
+MetaOp::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(static_cast<s64>(kind));
+    w.writeString(target);
+    w.writeS64(static_cast<s64>(switchTo));
+    w.writeS64(arrayAddr);
+    w.writeS64(arrayCount);
+    w.writeS64(bytes);
+    w.writeS64(graphOp);
+    work.writeBinary(w);
+    alloc.writeBinary(w);
+}
+
+MetaOp
+MetaOp::readBinary(BinaryReader &r)
+{
+    MetaOp op;
+    op.kind = static_cast<MetaOpKind>(
+        r.readBounded(static_cast<s64>(MetaOpKind::kFuCompute),
+                      "meta-op kind"));
+    op.target = r.readString();
+    op.switchTo = static_cast<ArrayMode>(
+        r.readBounded(static_cast<s64>(ArrayMode::kMemory), "array mode"));
+    op.arrayAddr = r.readS64();
+    op.arrayCount = r.readS64();
+    op.bytes = r.readS64();
+    op.graphOp = static_cast<OpId>(r.readS64());
+    op.work = OpWorkload::readBinary(r);
+    op.alloc = OpAllocation::readBinary(r);
     return op;
 }
 

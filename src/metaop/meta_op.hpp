@@ -19,6 +19,9 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** Kinds of meta-operators in the generated flow. */
 enum class MetaOpKind {
     kSwitch,     ///< CM.switch(TOM/TOC, addr, n): change array modes
@@ -62,6 +65,11 @@ struct MetaOp
     static MetaOp makeCompute(const OpWorkload &work,
                               const OpAllocation &alloc);
     static MetaOp makeFuCompute(const std::string &target, s64 elems);
+    /** @} */
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static MetaOp readBinary(BinaryReader &r); ///< throws SerializeError
     /** @} */
 };
 

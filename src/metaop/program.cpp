@@ -1,6 +1,91 @@
 #include "metaop/program.hpp"
 
+#include "support/serialize.hpp"
+
 namespace cmswitch {
+
+namespace {
+
+void
+writeMetaOps(BinaryWriter &w, const std::vector<MetaOp> &ops)
+{
+    w.writeS64(static_cast<s64>(ops.size()));
+    for (const MetaOp &op : ops)
+        op.writeBinary(w);
+}
+
+std::vector<MetaOp>
+readMetaOps(BinaryReader &r)
+{
+    // Every serialised MetaOp occupies far more than one byte, so the
+    // remaining buffer size bounds any honest count; a corrupt length
+    // fails here instead of walking off the buffer. Deliberately no
+    // reserve(): growth stays proportional to bytes actually parsed,
+    // so a hostile count cannot trigger a huge up-front allocation.
+    s64 count = r.readBounded(static_cast<s64>(r.remaining()),
+                              "meta-op count");
+    std::vector<MetaOp> ops;
+    for (s64 i = 0; i < count; ++i)
+        ops.push_back(MetaOp::readBinary(r));
+    return ops;
+}
+
+} // namespace
+
+void
+SegmentRecord::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(index);
+    w.writeS64(plan.computeArrays);
+    w.writeS64(plan.memoryArrays);
+    w.writeS64(reusedArrays);
+    w.writeBool(pipelinedBody);
+    writeMetaOps(w, prologue);
+    writeMetaOps(w, body);
+    writeMetaOps(w, epilogue);
+    w.writeS64(plannedIntra);
+    w.writeS64(plannedInter);
+}
+
+SegmentRecord
+SegmentRecord::readBinary(BinaryReader &r)
+{
+    SegmentRecord seg;
+    seg.index = r.readS64();
+    seg.plan.computeArrays = r.readS64();
+    seg.plan.memoryArrays = r.readS64();
+    seg.reusedArrays = r.readS64();
+    seg.pipelinedBody = r.readBool();
+    seg.prologue = readMetaOps(r);
+    seg.body = readMetaOps(r);
+    seg.epilogue = readMetaOps(r);
+    seg.plannedIntra = r.readS64();
+    seg.plannedInter = r.readS64();
+    return seg;
+}
+
+void
+MetaProgram::writeBinary(BinaryWriter &w) const
+{
+    w.writeString(modelName_);
+    w.writeString(chipName_);
+    w.writeS64(static_cast<s64>(segments_.size()));
+    for (const SegmentRecord &seg : segments_)
+        seg.writeBinary(w);
+}
+
+MetaProgram
+MetaProgram::readBinary(BinaryReader &r)
+{
+    MetaProgram program;
+    program.modelName_ = r.readString();
+    program.chipName_ = r.readString();
+    s64 count = r.readBounded(static_cast<s64>(r.remaining()),
+                              "segment count");
+    for (s64 i = 0; i < count; ++i)
+        program.segments_.push_back(SegmentRecord::readBinary(r));
+    return program;
+}
 
 void
 MetaProgram::addSegment(SegmentRecord segment)

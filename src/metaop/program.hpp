@@ -17,6 +17,9 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** One compiled network segment. */
 struct SegmentRecord
 {
@@ -31,6 +34,11 @@ struct SegmentRecord
     /** Compiler-side latency estimates (cycles), kept for reporting. */
     Cycles plannedIntra = 0;
     Cycles plannedInter = 0;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static SegmentRecord readBinary(BinaryReader &r); ///< throws SerializeError
+    /** @} */
 };
 
 /** Whole-network compiled artifact. */
@@ -56,6 +64,11 @@ class MetaProgram
     s64 totalWeightLoadBytes() const;
     s64 totalWritebackBytes() const;
     double avgMemoryArrayRatio() const; ///< Fig. 16 bottom-row metric
+    /** @} */
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static MetaProgram readBinary(BinaryReader &r); ///< throws SerializeError
     /** @} */
 
   private:

@@ -2,9 +2,29 @@
 
 #include <sstream>
 
+#include "support/serialize.hpp"
 #include "support/strings.hpp"
 
 namespace cmswitch {
+
+void
+ValidationReport::writeBinary(BinaryWriter &w) const
+{
+    w.writeS64(static_cast<s64>(problems.size()));
+    for (const std::string &problem : problems)
+        w.writeString(problem);
+}
+
+ValidationReport
+ValidationReport::readBinary(BinaryReader &r)
+{
+    ValidationReport report;
+    s64 count = r.readBounded(static_cast<s64>(r.remaining()),
+                              "validation problem count");
+    for (s64 i = 0; i < count; ++i)
+        report.problems.push_back(r.readString());
+    return report;
+}
 
 std::string
 ValidationReport::summary() const

@@ -16,6 +16,9 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** Result of validating a program; empty problems == valid. */
 struct ValidationReport
 {
@@ -23,6 +26,11 @@ struct ValidationReport
 
     bool ok() const { return problems.empty(); }
     std::string summary() const;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static ValidationReport readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /**

@@ -1,0 +1,90 @@
+#include "service/artifact_io.hpp"
+
+#include "support/hash.hpp"
+#include "support/serialize.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+void
+writeArtifactPayload(BinaryWriter &w, const CompileArtifact &artifact)
+{
+    w.writeString(artifact.key);
+    artifact.chip.writeBinary(w);
+    w.writeString(artifact.compilerId);
+    artifact.result.writeBinary(w);
+    artifact.validation.writeBinary(w);
+    artifact.energy.writeBinary(w);
+    artifact.passStats.writeBinary(w);
+}
+
+std::shared_ptr<CompileArtifact>
+readArtifactPayload(BinaryReader &r)
+{
+    auto artifact = std::make_shared<CompileArtifact>();
+    artifact->key = r.readString();
+    artifact->chip = ChipConfig::readBinary(r);
+    artifact->compilerId = r.readString();
+    artifact->result = CompileResult::readBinary(r);
+    artifact->validation = ValidationReport::readBinary(r);
+    artifact->energy = EnergyReport::readBinary(r);
+    artifact->passStats = PassStats::readBinary(r);
+    r.expectEnd();
+    return artifact;
+}
+
+ArtifactPtr
+fail(std::string *error, const std::string &reason)
+{
+    if (error)
+        *error = reason;
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+serializeCompileArtifact(const CompileArtifact &artifact)
+{
+    BinaryWriter payload;
+    writeArtifactPayload(payload, artifact);
+
+    BinaryWriter file;
+    file.writeRaw(kPlanFormatTag);
+    file.writeU64(static_cast<u64>(payload.bytes().size()));
+    file.writeU64(fnv1a64(payload.bytes()));
+    file.writeRaw(payload.bytes());
+    return file.take();
+}
+
+ArtifactPtr
+deserializeCompileArtifact(std::string_view data, std::string *error)
+{
+    try {
+        BinaryReader r(data);
+        std::string tag = r.readRaw(kPlanFormatTag.size());
+        if (tag != kPlanFormatTag)
+            return fail(error, "format tag mismatch (not a cmswitch plan, "
+                               "or a different format version)");
+        u64 length = r.readU64();
+        u64 digest = r.readU64();
+        if (length != r.remaining())
+            return fail(error, "payload length mismatch (truncated or "
+                               "trailing bytes)");
+        std::string_view payload =
+            data.substr(data.size() - r.remaining());
+        if (fnv1a64(payload) != digest)
+            return fail(error, "payload digest mismatch (corrupt)");
+        BinaryReader body(payload);
+        return readArtifactPayload(body);
+    } catch (const std::exception &e) {
+        // Mostly SerializeError, but any failure to parse an untrusted
+        // file (e.g. an allocation pushed over the top by a hostile
+        // count that still passed the digest) must surface as "no
+        // artifact", never as an escaping exception.
+        return fail(error, e.what());
+    }
+}
+
+} // namespace cmswitch

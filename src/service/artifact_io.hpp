@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Versioned on-disk artifact format for compiled plans
+ * (`cmswitch-plan-v1`).
+ *
+ * Layout of a plan file:
+ *
+ *   bytes 0..16   format tag "cmswitch-plan-v1\n" (version lives in the
+ *                 tag; a future v2 is a different tag, so v1 readers
+ *                 reject it instead of misparsing it)
+ *   u64           payload byte length
+ *   u64           FNV-1a digest of the payload bytes
+ *   payload       binary CompileArtifact (support/serialize.hpp
+ *                 primitives; every field, including the producing
+ *                 requestKey and compileSeconds)
+ *
+ * The length + digest header means truncation and bit corruption are
+ * detected *before* any payload parsing; the payload decoders throw
+ * SerializeError for anything structural the digest cannot catch.
+ * deserializeCompileArtifact never throws — a bad file is an expected
+ * environmental condition, reported as nullptr so callers recompile.
+ *
+ * The format guarantees exact round-trips: a JSON report rendered from
+ * a deserialized artifact is byte-identical to one rendered from the
+ * fresh compile (tests/plan_cache_persist_test.cpp pins this for every
+ * scenario-matrix cell).
+ */
+
+#ifndef CMSWITCH_SERVICE_ARTIFACT_IO_HPP
+#define CMSWITCH_SERVICE_ARTIFACT_IO_HPP
+
+#include <string>
+#include <string_view>
+
+#include "service/compile_service.hpp"
+
+namespace cmswitch {
+
+/** Format tag opening every plan file; bump the number on any change
+ *  to the payload layout (old artifacts then recompile). */
+inline constexpr std::string_view kPlanFormatTag = "cmswitch-plan-v1\n";
+
+/** Serialise @p artifact to the cmswitch-plan-v1 file image. */
+std::string serializeCompileArtifact(const CompileArtifact &artifact);
+
+/**
+ * Parse a plan-file image. Returns nullptr — with a one-line reason in
+ * @p error if non-null — when the tag or version does not match, the
+ * payload is truncated or corrupt, or decoding fails. Never throws.
+ */
+ArtifactPtr deserializeCompileArtifact(std::string_view data,
+                                       std::string *error = nullptr);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_ARTIFACT_IO_HPP

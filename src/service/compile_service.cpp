@@ -57,10 +57,12 @@ compileArtifact(const CompileRequest &request, std::string key)
 }
 
 CompileService::CompileService(CompileServiceOptions options)
-    : options_(options), cache_(options.cacheCapacity)
+    : options_(std::move(options)), cache_(options_.cacheCapacity)
 {
     cmswitch_fatal_if(options_.threads < 1,
                       "compile service needs at least one worker thread");
+    if (!options_.cacheDir.empty())
+        disk_ = std::make_unique<DiskPlanCache>(options_.cacheDir);
     workers_.reserve(static_cast<std::size_t>(options_.threads));
     for (s64 i = 0; i < options_.threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -94,6 +96,17 @@ CompileService::workerLoop()
     }
 }
 
+ArtifactPtr
+CompileService::lookup(const CompileRequest &request, const std::string &key)
+{
+    return cache_.getOrCompute(key, [this, &request, &key] {
+        auto compile = [&request, &key] {
+            return compileArtifact(request, key);
+        };
+        return disk_ ? disk_->loadOrCompute(key, compile) : compile();
+    });
+}
+
 std::future<ArtifactPtr>
 CompileService::submit(CompileRequest request)
 {
@@ -101,9 +114,7 @@ CompileService::submit(CompileRequest request)
     std::packaged_task<ArtifactPtr()> task(
         [this, request = std::move(request),
          key = std::move(key)]() -> ArtifactPtr {
-            return cache_.getOrCompute(key, [&request, &key] {
-                return compileArtifact(request, key);
-            });
+            return lookup(request, key);
         });
     std::future<ArtifactPtr> future = task.get_future();
     {
@@ -125,9 +136,7 @@ CompileService::compileNow(const CompileRequest &request)
         ++requests_;
     }
     std::string key = requestKey(request);
-    return cache_.getOrCompute(key, [&request, &key] {
-        return compileArtifact(request, key);
-    });
+    return lookup(request, key);
 }
 
 CompileServiceStats
@@ -139,6 +148,8 @@ CompileService::stats() const
         out.requests = requests_;
     }
     out.cache = cache_.stats();
+    if (disk_)
+        out.disk = disk_->stats();
     return out;
 }
 

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "compiler/compiler_api.hpp"
 #include "graph/passes.hpp"
 #include "metaop/validator.hpp"
+#include "service/disk_plan_cache.hpp"
 #include "service/plan_cache.hpp"
 #include "sim/energy.hpp"
 
@@ -83,6 +85,11 @@ struct CompileServiceOptions
 {
     s64 threads = 1;        ///< worker pool size (>= 1)
     s64 cacheCapacity = 256;///< completed plans kept (>= 1)
+
+    /** Directory of the persistent cross-process plan cache; empty
+     *  keeps the cache in-memory only. Lookups go memory -> disk ->
+     *  compile, and fresh compiles are published back to disk. */
+    std::string cacheDir;
 };
 
 /** Snapshot of service activity. */
@@ -90,6 +97,7 @@ struct CompileServiceStats
 {
     s64 requests = 0; ///< submit() + compileNow() calls accepted
     PlanCacheStats cache;
+    DiskPlanCacheStats disk; ///< all-zero when no cacheDir is set
 };
 
 class CompileService
@@ -115,11 +123,19 @@ class CompileService
 
     const CompileServiceOptions &options() const { return options_; }
 
+    /** The disk layer, or nullptr when options().cacheDir is empty. */
+    DiskPlanCache *diskCache() const { return disk_.get(); }
+
   private:
     void workerLoop();
 
+    /** Single-flighted memory -> disk -> compile (-> publish) lookup. */
+    ArtifactPtr lookup(const CompileRequest &request,
+                       const std::string &key);
+
     CompileServiceOptions options_;
     PlanCache cache_;
+    std::unique_ptr<DiskPlanCache> disk_;
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;

@@ -1,0 +1,159 @@
+#include "service/disk_plan_cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "service/artifact_io.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Process + sequence suffix that makes temp file names collision-free
+ *  across concurrent writers of the same key. */
+std::string
+tempSuffix()
+{
+    static std::atomic<u64> sequence{0};
+#ifdef _WIN32
+    u64 pid = static_cast<u64>(_getpid());
+#else
+    u64 pid = static_cast<u64>(::getpid());
+#endif
+    return std::to_string(pid) + "." + std::to_string(++sequence);
+}
+
+} // namespace
+
+void
+DiskPlanCacheStats::writeJsonFields(JsonWriter &w) const
+{
+    w.field("disk_hits", hits)
+        .field("disk_misses", misses)
+        .field("disk_stores", stores)
+        .field("disk_rejected", rejected);
+}
+
+DiskPlanCache::DiskPlanCache(std::string directory)
+    : directory_(std::move(directory))
+{
+    cmswitch_fatal_if(directory_.empty(),
+                      "plan cache directory must not be empty");
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    cmswitch_fatal_if(ec, "cannot create plan cache directory ",
+                      directory_, ": ", ec.message());
+    cmswitch_fatal_if(!fs::is_directory(directory_),
+                      "plan cache path ", directory_,
+                      " exists and is not a directory");
+}
+
+std::string
+DiskPlanCache::planPath(const std::string &key) const
+{
+    return (fs::path(directory_) / (key + ".plan")).string();
+}
+
+ArtifactPtr
+DiskPlanCache::load(const std::string &key)
+{
+    std::string path = planPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return nullptr;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    std::string data = oss.str();
+
+    std::string error;
+    ArtifactPtr artifact = deserializeCompileArtifact(data, &error);
+    if (artifact && artifact->key != key) {
+        error = "embedded request key '" + artifact->key
+              + "' does not match file name";
+        artifact = nullptr;
+    }
+    if (!artifact) {
+        informVerbose("ignoring plan file ", path, ": ", error);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        ++stats_.rejected;
+        return nullptr;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+    }
+    return artifact;
+}
+
+void
+DiskPlanCache::store(const std::string &key, const ArtifactPtr &artifact)
+{
+    cmswitch_assert(artifact != nullptr, "cannot store a null artifact");
+    cmswitch_assert(artifact->key == key,
+                    "artifact key does not match store key");
+    std::string image = serializeCompileArtifact(*artifact);
+
+    // Write to a process-unique temp name, then publish atomically:
+    // concurrent readers see the old plan, the new plan, or nothing —
+    // never a torn file.
+    fs::path final_path = planPath(key);
+    fs::path tmp_path =
+        fs::path(directory_) / (key + ".plan.tmp." + tempSuffix());
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out || !(out << image) || !out.flush()) {
+            warn("cannot write plan cache temp file ", tmp_path.string(),
+                 "; dropping store");
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("cannot publish plan cache file ", final_path.string(), ": ",
+             ec.message());
+        fs::remove(tmp_path, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+}
+
+ArtifactPtr
+DiskPlanCache::loadOrCompute(const std::string &key,
+                             const std::function<ArtifactPtr()> &compute)
+{
+    if (ArtifactPtr artifact = load(key))
+        return artifact;
+    ArtifactPtr artifact = compute();
+    store(key, artifact);
+    return artifact;
+}
+
+DiskPlanCacheStats
+DiskPlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace cmswitch

@@ -2,6 +2,7 @@
 
 #include "support/json.hpp"
 #include "support/logging.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
 
@@ -44,6 +45,32 @@ EnergyReport::writeJson(JsonWriter &w) const
         .field("fu_pj", fuPj)
         .field("static_pj", staticPj)
         .endObject();
+}
+
+void
+EnergyReport::writeBinary(BinaryWriter &w) const
+{
+    w.writeF64(computePj);
+    w.writeF64(memoryPj);
+    w.writeF64(rewritePj);
+    w.writeF64(dmaPj);
+    w.writeF64(switchPj);
+    w.writeF64(fuPj);
+    w.writeF64(staticPj);
+}
+
+EnergyReport
+EnergyReport::readBinary(BinaryReader &r)
+{
+    EnergyReport report;
+    report.computePj = r.readF64();
+    report.memoryPj = r.readF64();
+    report.rewritePj = r.readF64();
+    report.dmaPj = r.readF64();
+    report.switchPj = r.readF64();
+    report.fuPj = r.readF64();
+    report.staticPj = r.readF64();
+    return report;
 }
 
 EnergyModel::EnergyModel(const Deha &deha, EnergyParams params)

@@ -22,6 +22,8 @@
 
 namespace cmswitch {
 
+class BinaryReader;
+class BinaryWriter;
 class JsonWriter;
 
 /** Per-event energy costs (picojoules). */
@@ -70,6 +72,11 @@ struct EnergyReport
 
     /** Emit the full picojoule breakdown as an object into @p w. */
     void writeJson(JsonWriter &w) const;
+
+    /** @{ Exact binary round-trip for the persistent plan cache. */
+    void writeBinary(BinaryWriter &w) const;
+    static EnergyReport readBinary(BinaryReader &r);
+    /** @} */
 };
 
 /**

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Binary (de)serialisation primitives for versioned on-disk artifacts.
+ *
+ * The persistent plan cache stores compiled artifacts as files; those
+ * files must round-trip *exactly* (a report rendered from a restored
+ * artifact is byte-identical to one rendered from the fresh compile)
+ * and must be portable across processes and machines. Text formats
+ * cannot give that guarantee for doubles, so scalars are encoded in
+ * fixed-width little-endian binary: integers as their two's-complement
+ * bytes, doubles as their IEEE-754 bit pattern, strings as a length
+ * prefix plus raw bytes.
+ *
+ * Readers are defensive: artifact files come from disk and may be
+ * truncated, corrupted, or produced by a different format version.
+ * Every read is bounds-checked and throws SerializeError instead of
+ * walking off the buffer; callers (the disk cache) catch it and fall
+ * back to recompiling. SerializeError is *not* derived from the
+ * panic/fatal machinery — a bad cache file is an expected environmental
+ * condition, not a cmswitch bug or a user error.
+ */
+
+#ifndef CMSWITCH_SUPPORT_SERIALIZE_HPP
+#define CMSWITCH_SUPPORT_SERIALIZE_HPP
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** A malformed, truncated, or version-mismatched binary payload. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Appends fixed-width little-endian values to a byte buffer. */
+class BinaryWriter
+{
+  public:
+    BinaryWriter &writeU8(u8 value);
+    BinaryWriter &writeU32(u32 value);
+    BinaryWriter &writeU64(u64 value);
+    BinaryWriter &writeS64(s64 value);
+    /** IEEE-754 bit pattern; round-trips every finite and non-finite
+     *  double exactly. */
+    BinaryWriter &writeF64(double value);
+    BinaryWriter &writeBool(bool value);
+    /** u64 byte length followed by the raw bytes. */
+    BinaryWriter &writeString(std::string_view text);
+    /** Raw bytes with no length prefix (file magic etc.). */
+    BinaryWriter &writeRaw(std::string_view bytes);
+
+    const std::string &bytes() const { return out_; }
+    std::string take() { return std::move(out_); }
+    s64 size() const { return static_cast<s64>(out_.size()); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Bounds-checked reader over a byte buffer written by BinaryWriter.
+ * Does not own the bytes; the caller keeps them alive. All methods
+ * throw SerializeError on truncation or out-of-range values.
+ */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::string_view data) : data_(data) {}
+
+    u8 readU8();
+    u32 readU32();
+    u64 readU64();
+    s64 readS64();
+    double readF64();
+    bool readBool();
+    /** Rejects length prefixes larger than the remaining buffer. */
+    std::string readString();
+    /** Next @p count raw bytes (file magic etc.). */
+    std::string readRaw(std::size_t count);
+
+    /**
+     * readS64() checked against [0, @p max_value]; @p what names the
+     * field in the error. For enum tags and container counts.
+     */
+    s64 readBounded(s64 max_value, const char *what);
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    /** Throws unless the whole buffer was consumed (trailing garbage). */
+    void expectEnd() const;
+
+  private:
+    const void *need(std::size_t count, const char *what);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_SERIALIZE_HPP

@@ -13,6 +13,8 @@
  * invocation; semantic errors (unknown model/chip) exit 1 via fatal().
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <filesystem>
@@ -21,6 +23,7 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "arch/chip_parser.hpp"
@@ -30,6 +33,7 @@
 #include "metaop/printer.hpp"
 #include "metaop/validator.hpp"
 #include "service/compile_service.hpp"
+#include "service/disk_plan_cache.hpp"
 #include "service/json_report.hpp"
 #include "sim/energy.hpp"
 #include "sim/timing.hpp"
@@ -67,6 +71,10 @@ Options:
   --out FILE          write the meta-operator program to FILE
   --emit-json FILE    write the machine-readable compile report to
                       FILE (schema: see README "JSON report schema")
+  --cache-dir DIR     persistent plan cache: reuse a previously
+                      compiled plan for this exact request from DIR
+                      (cmswitch-plan-v1 artifact files, shared across
+                      processes) and store fresh compiles back
   --stats             print the latency/energy breakdown only
   --help              print this message and exit
   --version           print the version and exit
@@ -80,6 +88,8 @@ report per job plus an aggregate summary:
   --threads N            worker threads (default 1)
   --summary FILE         summary path (default: <out-dir>/summary.json)
   --cache-capacity N     compiled plans kept in memory (default 256)
+  --cache-dir DIR        persistent plan cache shared with other runs
+                         (lookups go memory -> disk -> compile)
 
 Examples:
   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
@@ -108,6 +118,7 @@ struct CliArgs
     s64 layers = 0;
     std::string outFile;
     std::string emitJson;
+    std::string cacheDir;
     bool statsOnly = false;
     bool optimize = false;
 };
@@ -198,6 +209,8 @@ parseFlags(const std::vector<std::string> &tokens, const std::string &context)
             args.outFile = next();
         else if (flag == "--emit-json")
             args.emitJson = next();
+        else if (flag == "--cache-dir")
+            args.cacheDir = next();
         else if (flag == "--stats")
             args.statsOnly = true;
         else if (flag == "--optimize")
@@ -240,25 +253,39 @@ resolveChip(const std::string &name)
     cmswitch_fatal("unknown chip '", name, "' (not a preset, not a file)");
 }
 
-Graph
-resolveModel(const CliArgs &args)
+bool
+isCnnZooName(const std::string &name)
 {
-    if (fileExists(args.model))
-        return parseGraph(readFile(args.model));
+    return name == "vgg16" || name == "resnet18" || name == "resnet50"
+        || name == "mobilenetv2";
+}
+
+/** Build a model-zoo workload (@p args.model is NOT a file path). The
+ *  only fatal() here is an unknown transformer name — callers that run
+ *  off the main thread must have name-checked first. */
+Graph
+buildZooModel(const CliArgs &args)
+{
     if (args.decodeKv > 0) {
         TransformerConfig cfg = transformerConfigByName(args.model);
         if (args.layers > 0)
             cfg.layers = args.layers;
         return buildTransformerDecodeStep(cfg, args.batch, args.decodeKv);
     }
-    if (args.model == "vgg16" || args.model == "resnet18"
-        || args.model == "resnet50" || args.model == "mobilenetv2") {
+    if (isCnnZooName(args.model))
         return buildModelByName(args.model, args.batch);
-    }
     TransformerConfig cfg = transformerConfigByName(args.model);
     if (args.layers > 0)
         cfg.layers = args.layers;
     return buildTransformerPrefill(cfg, args.batch, args.seq);
+}
+
+Graph
+resolveModel(const CliArgs &args)
+{
+    if (fileExists(args.model))
+        return parseGraph(readFile(args.model));
+    return buildZooModel(args);
 }
 
 void
@@ -299,7 +326,26 @@ singleMain(int argc, char **argv)
     request.workload = resolveModel(args);
     request.compilerId = args.compiler;
     request.optimize = args.optimize;
-    ArtifactPtr artifact = compileArtifact(request);
+
+    ArtifactPtr artifact;
+    if (args.cacheDir.empty()) {
+        artifact = compileArtifact(request);
+    } else {
+        // Persistent plan cache: a prior run of any process with this
+        // --cache-dir and the same request key supplies the plan.
+        DiskPlanCache disk(args.cacheDir);
+        std::string key = requestKey(request);
+        artifact = disk.load(key);
+        if (artifact) {
+            std::cerr << "cmswitchc: plan cache disk hit (" << key
+                      << ") in " << disk.directory() << "\n";
+        } else {
+            artifact = compileArtifact(request, key);
+            disk.store(key, artifact);
+            std::cerr << "cmswitchc: plan cache miss; stored " << key
+                      << " in " << disk.directory() << "\n";
+        }
+    }
     if (args.optimize) {
         std::cerr << "cmswitchc: frontend passes removed "
                   << artifact->passStats.removedOps << " op(s)\n";
@@ -345,18 +391,88 @@ singleMain(int argc, char **argv)
 /** One parsed batch job: the request plus report bookkeeping. */
 struct BatchJob
 {
+    CliArgs cliArgs;        ///< parsed flags; resolveJobs() turns them
+                            ///< into the request
     CompileRequest request;
     std::string key;
-    std::string model, chip, compiler;
     std::string reportFile;
+    bool graphResolved = false; ///< workload already built (file models)
     bool expectHit = false; ///< key already submitted by an earlier job
 };
+
+/**
+ * Resolve every job's chip + workload graph and request key, spreading
+ * the expensive part — zoo graph construction and request hashing —
+ * over up to @p threads worker threads.
+ *
+ * Everything that can fatal() on user error stays on the main thread:
+ * fatal() calls std::exit, and exiting from a worker while its
+ * siblings run would tear down static state under them. So the serial
+ * prologue resolves every unique chip once (memoized — also skipping
+ * repeated chip-file parsing), parses file-based model graphs, and
+ * name-checks zoo models; workers then only run buildZooModel on
+ * validated names (never re-probing the filesystem, so a file
+ * appearing mid-run cannot reroute them onto a fatal() path) plus
+ * requestKey hashing. Each job is independent and deterministic, so
+ * the parallel fill is observationally identical to a serial loop —
+ * only faster for long job lists.
+ */
+void
+resolveJobs(std::vector<BatchJob> *jobs, s64 threads)
+{
+    std::map<std::string, ChipConfig> chips;
+    for (BatchJob &job : *jobs) {
+        auto [it, inserted] = chips.try_emplace(job.cliArgs.chip);
+        if (inserted)
+            it->second = resolveChip(job.cliArgs.chip);
+        job.request.chip = it->second;
+        job.request.compilerId = job.cliArgs.compiler;
+        job.request.optimize = job.cliArgs.optimize;
+        if (fileExists(job.cliArgs.model)) {
+            job.request.workload = resolveModel(job.cliArgs);
+            job.graphResolved = true;
+        } else if (job.cliArgs.decodeKv > 0
+                   || !isCnnZooName(job.cliArgs.model)) {
+            // Cheap name validation; fatals here, not in a worker.
+            transformerConfigByName(job.cliArgs.model);
+        }
+    }
+
+    auto resolveOne = [](BatchJob &job) {
+        if (!job.graphResolved)
+            job.request.workload = buildZooModel(job.cliArgs);
+        job.key = requestKey(job.request);
+    };
+
+    s64 workers = std::min(threads, static_cast<s64>(jobs->size()));
+    if (workers <= 1) {
+        for (BatchJob &job : *jobs)
+            resolveOne(job);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (s64 i = 0; i < workers; ++i) {
+        pool.emplace_back([&] {
+            for (;;) {
+                std::size_t index = next.fetch_add(1);
+                if (index >= jobs->size())
+                    return;
+                resolveOne((*jobs)[index]);
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+}
 
 struct BatchArgs
 {
     std::string jobsFile;
     std::string outDir;
     std::string summaryFile;
+    std::string cacheDir;
     s64 threads = 1;
     s64 cacheCapacity = 256;
 };
@@ -385,6 +501,8 @@ parseBatchArgs(int argc, char **argv)
             args.threads = nextInt(1);
         else if (flag == "--cache-capacity")
             args.cacheCapacity = nextInt(1);
+        else if (flag == "--cache-dir")
+            args.cacheDir = next();
         else if (flag == "--help") {
             std::cout << kUsage;
             std::exit(0);
@@ -426,33 +544,38 @@ parseJobs(const BatchArgs &batch)
             batch.jobsFile + " line " + std::to_string(line_no);
         CliArgs args = parseFlags(tokens, context);
         if (!args.outFile.empty() || !args.emitJson.empty()
-            || args.statsOnly) {
-            usageError(context + ": --out/--emit-json/--stats are not "
-                       "valid in batch jobs (reports are written to "
-                       "--out-dir)");
+            || !args.cacheDir.empty() || args.statsOnly) {
+            usageError(context + ": --out/--emit-json/--cache-dir/--stats "
+                       "are not valid in batch jobs (reports go to "
+                       "--out-dir, the cache is batch-level)");
         }
 
         BatchJob job;
-        job.request.chip = resolveChip(args.chip);
-        job.request.workload = resolveModel(args);
-        job.request.compilerId = args.compiler;
-        job.request.optimize = args.optimize;
-        job.key = requestKey(job.request);
-        job.model = args.model;
-        job.chip = args.chip;
-        job.compiler = args.compiler;
-        job.expectHit = seen[job.key];
-        seen[job.key] = true;
+        job.cliArgs = args;
 
         std::ostringstream name;
         name << "job" << std::setw(3) << std::setfill('0') << jobs.size()
-             << "_" << sanitizeToken(job.model) << "_"
-             << sanitizeToken(job.chip) << "_"
-             << sanitizeToken(job.compiler) << ".json";
+             << "_" << sanitizeToken(args.model) << "_"
+             << sanitizeToken(args.chip) << "_"
+             << sanitizeToken(args.compiler) << ".json";
         job.reportFile = name.str();
         jobs.push_back(std::move(job));
     }
     cmswitch_fatal_if(jobs.empty(), batch.jobsFile, " contains no jobs");
+
+    // Model/chip graph construction is the expensive half of job setup
+    // (huge job lists spend seconds here), so it runs on the batch's
+    // thread budget instead of serially on the main thread. Each job is
+    // independent; requestKey hashing rides along.
+    resolveJobs(&jobs, batch.threads);
+
+    // Hit/miss labels derive from submission order (first occurrence of
+    // a key compiles, repeats hit) — serial on purpose, so the labels
+    // are deterministic under any thread count.
+    for (BatchJob &job : jobs) {
+        job.expectHit = seen[job.key];
+        seen[job.key] = true;
+    }
     return jobs;
 }
 
@@ -464,8 +587,9 @@ batchMain(int argc, char **argv)
     std::filesystem::create_directories(batch.outDir);
 
     auto t0 = std::chrono::steady_clock::now();
-    CompileService service(
-        {.threads = batch.threads, .cacheCapacity = batch.cacheCapacity});
+    CompileService service({.threads = batch.threads,
+                            .cacheCapacity = batch.cacheCapacity,
+                            .cacheDir = batch.cacheDir});
 
     std::vector<std::future<ArtifactPtr>> futures;
     futures.reserve(jobs.size());
@@ -480,8 +604,8 @@ batchMain(int argc, char **argv)
         ArtifactPtr artifact = futures[k].get();
         if (!artifact->validation.ok()) {
             ++invalid;
-            warn("batch job ", k, " (", jobs[k].model, " / ",
-                 jobs[k].chip, " / ", jobs[k].compiler,
+            warn("batch job ", k, " (", jobs[k].cliArgs.model, " / ",
+                 jobs[k].cliArgs.chip, " / ", jobs[k].cliArgs.compiler,
                  ") failed validation:\n",
                  artifact->validation.summary());
         }
@@ -495,7 +619,7 @@ batchMain(int argc, char **argv)
     CompileServiceStats stats = service.stats();
     JsonWriter w;
     w.beginObject()
-        .field("schema", "cmswitch-batch-summary-v1")
+        .field("schema", "cmswitch-batch-summary-v2")
         .field("jobs", static_cast<s64>(jobs.size()))
         .field("threads", batch.threads)
         .field("invalid_jobs", invalid)
@@ -506,16 +630,20 @@ batchMain(int argc, char **argv)
         .field("hits", stats.cache.hits)
         .field("misses", stats.cache.misses)
         .field("evictions", stats.cache.evictions)
-        .endObject();
+        .field("dir", batch.cacheDir);
+    // In-memory misses that a --cache-dir plan file satisfied show up
+    // as disk_hits; only (misses - disk_hits) actually compiled.
+    stats.disk.writeJsonFields(w);
+    w.endObject();
     w.key("job_reports").beginArray();
     for (std::size_t k = 0; k < jobs.size(); ++k) {
         w.beginObject()
             .field("index", static_cast<s64>(k))
             .field("report", jobs[k].reportFile)
             .field("key", jobs[k].key)
-            .field("model", jobs[k].model)
-            .field("chip", jobs[k].chip)
-            .field("compiler", jobs[k].compiler)
+            .field("model", jobs[k].cliArgs.model)
+            .field("chip", jobs[k].cliArgs.chip)
+            .field("compiler", jobs[k].cliArgs.compiler)
             // First submission of a key compiles, repeats hit the plan
             // cache — derived from submission order, so deterministic
             // under any thread count. If --cache-capacity is smaller
@@ -529,9 +657,12 @@ batchMain(int argc, char **argv)
     writeTextFile(batch.summaryFile, w.str());
 
     std::cerr << "cmswitchc: batch of " << jobs.size() << " job(s) on "
-              << batch.threads << " thread(s): " << stats.cache.misses
-              << " compiled, " << stats.cache.hits << " cache hit(s), "
-              << invalid << " invalid, in " << formatDouble(wall, 2)
+              << batch.threads << " thread(s): "
+              << stats.cache.misses - stats.disk.hits << " compiled, "
+              << stats.cache.hits << " cache hit(s), ";
+    if (!batch.cacheDir.empty())
+        std::cerr << stats.disk.hits << " disk hit(s), ";
+    std::cerr << invalid << " invalid, in " << formatDouble(wall, 2)
               << "s\n"
               << "cmswitchc: summary written to " << batch.summaryFile
               << "\n";

@@ -1,0 +1,193 @@
+# The persistent plan cache acceptance gate, driven through real
+# cmswitchc processes (the cross-process claim needs processes, not
+# threads):
+#   1. two successive single-mode runs with one --cache-dir: byte-
+#      identical reports, the second reporting a disk hit on stderr;
+#   2. corrupted / truncated / version-bumped artifact files silently
+#      recompile and still produce the identical report;
+#   3. the full 3-chip x 4-workload x 4-compiler batch matrix run cold
+#      (serial) then warm (4 threads) over a shared --cache-dir: the
+#      warm pass compiles nothing (every unique key is a disk hit) and
+#      every per-job report is byte-identical to the cold serial run.
+# Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P cache_smoke.cmake`.
+
+if(NOT CMSWITCHC)
+    message(FATAL_ERROR "pass -DCMSWITCHC=<path to cmswitchc>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(cache_dir ${WORK_DIR}/plan-cache)
+
+# --- 1. single mode: second process must warm-start from disk ---------
+
+function(run_single report expect_pattern)
+    execute_process(COMMAND ${CMSWITCHC} --model resnet18 --stats
+                            --emit-json ${report} --cache-dir ${cache_dir}
+                    RESULT_VARIABLE result
+                    ERROR_VARIABLE err)
+    if(NOT result EQUAL 0)
+        message(FATAL_ERROR "cmswitchc --cache-dir failed (${result}):\n${err}")
+    endif()
+    if(NOT err MATCHES "${expect_pattern}")
+        message(FATAL_ERROR "expected stderr to match '${expect_pattern}', "
+                            "got:\n${err}")
+    endif()
+endfunction()
+
+run_single(${WORK_DIR}/cold.json "plan cache miss; stored")
+run_single(${WORK_DIR}/warm.json "plan cache disk hit")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/cold.json ${WORK_DIR}/warm.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "cold and warm single-mode reports differ")
+endif()
+
+# --- 2. damaged artifacts must silently recompile ---------------------
+
+file(GLOB plans ${cache_dir}/*.plan)
+list(LENGTH plans plan_count)
+if(NOT plan_count EQUAL 1)
+    message(FATAL_ERROR "expected 1 plan file after single runs, "
+                        "got ${plan_count}")
+endif()
+list(GET plans 0 plan_file)
+
+# Bit corruption (same size, different content).
+file(WRITE ${plan_file} "cmswitch-plan-v1\nthis is not a real artifact")
+run_single(${WORK_DIR}/recompiled.json "plan cache miss; stored")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/cold.json ${WORK_DIR}/recompiled.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "report after corrupt-artifact recompile differs")
+endif()
+
+# Version mismatch: a v2 tag from the future must be ignored by the v1
+# reader (new tag == new format; old readers reject, recompile, and
+# overwrite).
+file(WRITE ${plan_file} "cmswitch-plan-v2\npayload from the future")
+run_single(${WORK_DIR}/devolved.json "plan cache miss; stored")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/cold.json ${WORK_DIR}/devolved.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "report after version-mismatch recompile differs")
+endif()
+
+# Truncation: an empty (or cut-short) plan file recompiles too.
+file(WRITE ${plan_file} "")
+run_single(${WORK_DIR}/retruncated.json "plan cache miss; stored")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/cold.json ${WORK_DIR}/retruncated.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "report after truncated-artifact recompile differs")
+endif()
+
+# --- 3. batch matrix: cold serial, then warm multi-threaded -----------
+
+set(tiny_chip ${WORK_DIR}/tiny.chip)
+file(WRITE ${tiny_chip} "\
+name = tiny
+technology = edram
+num_switch_arrays = 16
+array_rows = 128
+array_cols = 128
+buffer_bytes = 64
+internal_bw = 2
+extern_bw = 4
+buffer_bw = 1
+op_per_cycle = 8
+write_row_latency = 2
+fu_ops_per_cycle = 16
+")
+
+set(workloads
+    "--model resnet18"
+    "--model mobilenetv2"
+    "--model bert-base --layers 2 --seq 64"
+    "--model opt-6.7b --decode 256 --layers 2")
+set(compilers cmswitch cim-mlc occ puma)
+
+set(jobs "# full scenario matrix\n")
+set(job_count 0)
+foreach(chip dynaplasia prime ${tiny_chip})
+    foreach(workload IN LISTS workloads)
+        foreach(compiler IN LISTS compilers)
+            string(APPEND jobs
+                   "${workload} --chip ${chip} --compiler ${compiler}\n")
+            math(EXPR job_count "${job_count} + 1")
+        endforeach()
+    endforeach()
+endforeach()
+set(jobs_file ${WORK_DIR}/jobs.txt)
+file(WRITE ${jobs_file} "${jobs}")
+set(batch_cache ${WORK_DIR}/batch-plan-cache)
+
+function(run_batch threads out_dir)
+    execute_process(COMMAND ${CMSWITCHC} batch --jobs ${jobs_file}
+                            --threads ${threads} --out-dir ${out_dir}
+                            --cache-dir ${batch_cache}
+                    RESULT_VARIABLE result
+                    ERROR_VARIABLE err)
+    if(NOT result EQUAL 0)
+        message(FATAL_ERROR "cmswitchc batch --threads ${threads} "
+                            "--cache-dir failed (${result}):\n${err}")
+    endif()
+endfunction()
+
+run_batch(1 ${WORK_DIR}/cold-serial)
+run_batch(4 ${WORK_DIR}/warm-mt)
+
+# expect_summary(<expected> <path...>): check one summary field.
+function(expect_summary summary expected)
+    string(JSON actual GET "${summary}" ${ARGN})
+    if(NOT actual STREQUAL expected)
+        message(FATAL_ERROR "summary ${ARGN}: expected '${expected}', "
+                            "got '${actual}'")
+    endif()
+endfunction()
+
+# Cold pass: nothing on disk yet -> every unique key misses disk and is
+# stored; warm pass: every unique key is served from disk, zero stores.
+file(READ ${WORK_DIR}/cold-serial/summary.json cold_summary)
+expect_summary("${cold_summary}" ${job_count} jobs)
+expect_summary("${cold_summary}" 0 invalid_jobs)
+expect_summary("${cold_summary}" ${job_count} cache disk_misses)
+expect_summary("${cold_summary}" ${job_count} cache disk_stores)
+expect_summary("${cold_summary}" 0 cache disk_hits)
+
+file(READ ${WORK_DIR}/warm-mt/summary.json warm_summary)
+expect_summary("${warm_summary}" 0 invalid_jobs)
+expect_summary("${warm_summary}" ${job_count} cache disk_hits)
+expect_summary("${warm_summary}" 0 cache disk_misses)
+expect_summary("${warm_summary}" 0 cache disk_stores)
+expect_summary("${warm_summary}" 0 cache disk_rejected)
+
+# Warm multi-threaded reports must be byte-identical to cold serial.
+file(GLOB reports RELATIVE ${WORK_DIR}/cold-serial
+     ${WORK_DIR}/cold-serial/job*.json)
+list(LENGTH reports report_count)
+if(NOT report_count EQUAL ${job_count})
+    message(FATAL_ERROR "expected ${job_count} cold reports, "
+                        "got ${report_count}")
+endif()
+foreach(report IN LISTS reports)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${WORK_DIR}/cold-serial/${report}
+                            ${WORK_DIR}/warm-mt/${report}
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${report} differs between the cold serial "
+                            "and warm 4-thread runs")
+    endif()
+endforeach()
+
+message(STATUS "cache_smoke: single-mode warm start, damaged-artifact "
+               "recompile, and ${job_count}-job warm batch all check out")

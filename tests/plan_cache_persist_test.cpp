@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The persistent plan cache's correctness gate.
+ *
+ * Three layers of guarantees, each pinned here:
+ *  - cmswitch-plan-v1 round-trips exactly: for EVERY cell of the
+ *    scenario matrix, compile -> serialize -> deserialize -> re-emit
+ *    the JSON report and require it byte-identical to the fresh
+ *    compile's report (plus the fields the report omits, like
+ *    compileSeconds);
+ *  - damaged artifacts never escape: truncated, bit-flipped,
+ *    wrong-version, trailing-garbage and key-mismatched files are all
+ *    rejected (nullptr / counted `rejected`), falling back to a clean
+ *    recompile;
+ *  - the disk layer composes with the in-memory PlanCache inside
+ *    CompileService: a second service over a warm --cache-dir serves
+ *    every unique key from disk and renders byte-identical reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <system_error>
+#include <tuple>
+#include <vector>
+
+#include "service/artifact_io.hpp"
+#include "service/disk_plan_cache.hpp"
+#include "service/json_report.hpp"
+#include "scenario_util.hpp"
+
+namespace cmswitch {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::cmswitch::testing::kE2eTransformerLayers;
+using ::cmswitch::testing::scenarioChip;
+using ::cmswitch::testing::scenarioChipNames;
+using ::cmswitch::testing::scenarioCompile;
+using ::cmswitch::testing::scenarioCompilerNames;
+using ::cmswitch::testing::scenarioWorkload;
+using ::cmswitch::testing::scenarioWorkloadNames;
+
+/** Fresh scratch directory under gtest's temp root, removed on exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(fs::path(::testing::TempDir())
+                / ("cmswitch_" + tag + "_"
+                   + std::to_string(
+                         ::testing::UnitTest::GetInstance()->random_seed())
+                   + "_" + std::to_string(reinterpret_cast<std::uintptr_t>(
+                               this))))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    std::string str() const { return path_.string(); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+/** One cheap shared artifact for the envelope/robustness tests. */
+ArtifactPtr
+cheapArtifact()
+{
+    return scenarioCompile("tiny", "resnet18", "cmswitch");
+}
+
+/** Expect both the report bytes and the report-invisible fields to
+ *  survive @p restored vs the original @p artifact. */
+void
+expectArtifactsEquivalent(const CompileArtifact &artifact,
+                          const CompileArtifact &restored)
+{
+    // The acceptance criterion: byte-identical machine-readable report.
+    EXPECT_EQ(renderCompileReport(artifact), renderCompileReport(restored));
+
+    // Fields the report deliberately omits must round-trip too.
+    EXPECT_EQ(artifact.key, restored.key);
+    EXPECT_EQ(artifact.result.compileSeconds,
+              restored.result.compileSeconds);
+    EXPECT_EQ(artifact.passStats.removedOps, restored.passStats.removedOps);
+    EXPECT_EQ(artifact.passStats.removedTensors,
+              restored.passStats.removedTensors);
+    EXPECT_EQ(artifact.validation.problems, restored.validation.problems);
+    EXPECT_EQ(artifact.chip.name, restored.chip.name);
+    EXPECT_EQ(artifact.chip.technology, restored.chip.technology);
+    ASSERT_EQ(artifact.result.program.numSegments(),
+              restored.result.program.numSegments());
+    for (s64 i = 0; i < artifact.result.program.numSegments(); ++i) {
+        const SegmentRecord &a =
+            artifact.result.program.segments()[static_cast<std::size_t>(i)];
+        const SegmentRecord &b =
+            restored.result.program.segments()[static_cast<std::size_t>(i)];
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.plan.computeArrays, b.plan.computeArrays);
+        EXPECT_EQ(a.plan.memoryArrays, b.plan.memoryArrays);
+        EXPECT_EQ(a.pipelinedBody, b.pipelinedBody);
+        EXPECT_EQ(a.prologue.size(), b.prologue.size());
+        EXPECT_EQ(a.body.size(), b.body.size());
+        EXPECT_EQ(a.epilogue.size(), b.epilogue.size());
+        EXPECT_EQ(a.plannedIntra, b.plannedIntra);
+        EXPECT_EQ(a.plannedInter, b.plannedInter);
+    }
+}
+
+/** Every (chip, workload, compiler) cell of the scenario matrix. */
+class PlanRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, std::string>>
+{
+};
+
+TEST_P(PlanRoundTrip, SerializedArtifactReEmitsIdenticalReport)
+{
+    auto [chip_name, workload_name, compiler_name] = GetParam();
+    ArtifactPtr artifact = scenarioCompile(chip_name, workload_name,
+                                           compiler_name,
+                                           kE2eTransformerLayers);
+
+    std::string image = serializeCompileArtifact(*artifact);
+    std::string error;
+    ArtifactPtr restored = deserializeCompileArtifact(image, &error);
+    ASSERT_NE(restored, nullptr) << error;
+    expectArtifactsEquivalent(*artifact, *restored);
+
+    // Serialisation must be deterministic: same artifact, same bytes.
+    EXPECT_EQ(image, serializeCompileArtifact(*restored));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PlanRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(scenarioChipNames()),
+                       ::testing::ValuesIn(scenarioWorkloadNames()),
+                       ::testing::ValuesIn(scenarioCompilerNames())),
+    [](const ::testing::TestParamInfo<PlanRoundTrip::ParamType> &info) {
+        std::string joined = std::get<0>(info.param) + "__"
+                           + std::get<1>(info.param) + "__"
+                           + std::get<2>(info.param);
+        for (char &c : joined)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return joined;
+    });
+
+TEST(PlanEnvelope, TruncationAtEveryRegionRejected)
+{
+    std::string image = serializeCompileArtifact(*cheapArtifact());
+    // One cut inside each region of the envelope: the tag, the length
+    // header, the digest, early payload, and one byte short of valid.
+    for (std::size_t cut :
+         {std::size_t{0}, std::size_t{5}, std::size_t{20}, std::size_t{30},
+          std::size_t{80}, image.size() - 1}) {
+        ASSERT_LT(cut, image.size());
+        std::string error;
+        EXPECT_EQ(deserializeCompileArtifact(image.substr(0, cut), &error),
+                  nullptr)
+            << "truncation at byte " << cut << " not rejected";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(PlanEnvelope, BitCorruptionAnywhereRejected)
+{
+    std::string image = serializeCompileArtifact(*cheapArtifact());
+    // Flip one byte in the header and a spread of payload offsets; the
+    // digest (or tag check) must catch every one of them.
+    for (std::size_t at : {std::size_t{2}, std::size_t{25},
+                           image.size() / 4, image.size() / 2,
+                           image.size() - 2}) {
+        std::string corrupt = image;
+        corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+        EXPECT_EQ(deserializeCompileArtifact(corrupt), nullptr)
+            << "bit flip at byte " << at << " not rejected";
+    }
+}
+
+TEST(PlanEnvelope, WrongFormatVersionRejected)
+{
+    std::string image = serializeCompileArtifact(*cheapArtifact());
+    std::string v9 = image;
+    std::size_t digit = v9.find("-v1");
+    ASSERT_NE(digit, std::string::npos);
+    v9[digit + 2] = '9'; // cmswitch-plan-v9: a future format
+    std::string error;
+    EXPECT_EQ(deserializeCompileArtifact(v9, &error), nullptr);
+    EXPECT_NE(error.find("tag"), std::string::npos) << error;
+}
+
+TEST(PlanEnvelope, TrailingGarbageRejected)
+{
+    std::string image = serializeCompileArtifact(*cheapArtifact());
+    EXPECT_EQ(deserializeCompileArtifact(image + "x"), nullptr);
+}
+
+TEST(DiskPlanCachePersist, StoreThenLoadRoundTrips)
+{
+    ScratchDir dir("disk_roundtrip");
+    ArtifactPtr artifact = cheapArtifact();
+
+    DiskPlanCache cache(dir.str());
+    EXPECT_EQ(cache.load(artifact->key), nullptr); // cold
+    cache.store(artifact->key, artifact);
+    EXPECT_TRUE(fs::exists(cache.planPath(artifact->key)));
+
+    ArtifactPtr restored = cache.load(artifact->key);
+    ASSERT_NE(restored, nullptr);
+    expectArtifactsEquivalent(*artifact, *restored);
+
+    DiskPlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.stores, 1);
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(DiskPlanCachePersist, SecondCacheInstanceSeesTheFile)
+{
+    ScratchDir dir("disk_crossproc");
+    ArtifactPtr artifact = cheapArtifact();
+    DiskPlanCache(dir.str()).store(artifact->key, artifact);
+
+    // A different instance over the same directory models a second
+    // process.
+    DiskPlanCache second(dir.str());
+    ArtifactPtr restored = second.load(artifact->key);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(renderCompileReport(*artifact), renderCompileReport(*restored));
+}
+
+TEST(DiskPlanCachePersist, CorruptAndTruncatedFilesFallBackToMiss)
+{
+    ScratchDir dir("disk_corrupt");
+    ArtifactPtr artifact = cheapArtifact();
+    DiskPlanCache cache(dir.str());
+    cache.store(artifact->key, artifact);
+    std::string path = cache.planPath(artifact->key);
+
+    {
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            << "not a plan at all";
+    }
+    EXPECT_EQ(cache.load(artifact->key), nullptr);
+
+    std::string image = serializeCompileArtifact(*artifact);
+    {
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            << image.substr(0, image.size() / 2);
+    }
+    EXPECT_EQ(cache.load(artifact->key), nullptr);
+
+    DiskPlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.rejected, 2);
+    EXPECT_EQ(stats.hits, 0);
+
+    // Re-storing repairs the entry.
+    cache.store(artifact->key, artifact);
+    EXPECT_NE(cache.load(artifact->key), nullptr);
+}
+
+TEST(DiskPlanCachePersist, KeyMismatchedFileRejected)
+{
+    ScratchDir dir("disk_keymismatch");
+    ArtifactPtr artifact = cheapArtifact();
+    DiskPlanCache cache(dir.str());
+    cache.store(artifact->key, artifact);
+
+    // A plan copied under a different request key must not be served:
+    // the embedded key is authoritative.
+    std::string other_key(16, 'f');
+    fs::copy_file(cache.planPath(artifact->key), cache.planPath(other_key));
+    EXPECT_EQ(cache.load(other_key), nullptr);
+    EXPECT_EQ(cache.stats().rejected, 1);
+}
+
+TEST(ServiceDiskCache, WarmServiceServesEveryKeyFromDisk)
+{
+    ScratchDir dir("service_warm");
+
+    CompileRequest request;
+    request.chip = scenarioChip("tiny");
+    request.workload = scenarioWorkload("resnet18");
+    request.compilerId = "cmswitch";
+
+    CompileRequest other = request;
+    other.compilerId = "puma";
+
+    std::string cold_report, cold_other;
+    {
+        CompileService service({.threads = 2, .cacheCapacity = 16,
+                                .cacheDir = dir.str()});
+        cold_report = renderCompileReport(*service.compileNow(request));
+        cold_other = renderCompileReport(*service.compileNow(other));
+        CompileServiceStats stats = service.stats();
+        EXPECT_EQ(stats.disk.misses, 2);
+        EXPECT_EQ(stats.disk.stores, 2);
+        EXPECT_EQ(stats.disk.hits, 0);
+    }
+    {
+        CompileService service({.threads = 2, .cacheCapacity = 16,
+                                .cacheDir = dir.str()});
+        // submit() and compileNow() both ride the disk layer.
+        std::future<ArtifactPtr> future = service.submit(request);
+        EXPECT_EQ(renderCompileReport(*future.get()), cold_report);
+        EXPECT_EQ(renderCompileReport(*service.compileNow(other)),
+                  cold_other);
+        // And an in-memory repeat does not touch the disk again.
+        service.compileNow(request);
+        CompileServiceStats stats = service.stats();
+        EXPECT_EQ(stats.disk.hits, 2);
+        EXPECT_EQ(stats.disk.misses, 0);
+        EXPECT_EQ(stats.disk.stores, 0);
+        EXPECT_EQ(stats.cache.hits, 1);
+    }
+}
+
+TEST(ServiceDiskCache, NoCacheDirMeansNoDiskLayer)
+{
+    CompileService service({.threads = 1, .cacheCapacity = 4, .cacheDir = ""});
+    EXPECT_EQ(service.diskCache(), nullptr);
+    CompileRequest request;
+    request.chip = scenarioChip("tiny");
+    request.workload = scenarioWorkload("resnet18");
+    service.compileNow(request);
+    CompileServiceStats stats = service.stats();
+    EXPECT_EQ(stats.disk.hits + stats.disk.misses + stats.disk.stores, 0);
+}
+
+} // namespace
+} // namespace cmswitch

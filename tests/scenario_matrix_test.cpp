@@ -11,14 +11,18 @@
  *  - CMSwitch is never slower than any baseline on the same cell
  *    (Fig. 14 dominance);
  *  - decode workloads run a higher memory-mode array ratio than CNNs on
- *    every chip (Fig. 1/16 motivation).
+ *    every chip (Fig. 1/16 motivation), at transformer depth 2 AND 4.
  *
  * Each claim lives here as a test rather than only as a bench figure,
  * so perf/refactor PRs land against a green cross-product gate.
  *
- * All compiles route through testing::scenarioCompile's shared plan
- * cache: the dominance and mode-pressure sweeps reuse the cell sweep's
- * plans instead of recompiling each (chip, workload, compiler) pair.
+ * The e2e sweep runs transformers at kE2eTransformerLayers (4), twice
+ * the tier1 scale, so inter-segment scheduling is exercised at real
+ * depth. All compiles route through testing::scenarioCompile's shared
+ * plan cache: the dominance and mode-pressure sweeps reuse the cell
+ * sweep's plans instead of recompiling each (chip, workload, compiler)
+ * pair, and with CMSWITCH_SCENARIO_CACHE_DIR set (tests/CMakeLists.txt
+ * does) the plans persist on disk across test processes.
  */
 
 #include <gtest/gtest.h>
@@ -32,6 +36,8 @@
 namespace cmswitch {
 namespace {
 
+using ::cmswitch::testing::kE2eTransformerLayers;
+using ::cmswitch::testing::kTier1TransformerLayers;
 using ::cmswitch::testing::scenarioChipNames;
 using ::cmswitch::testing::scenarioCompile;
 using ::cmswitch::testing::scenarioCompilerNames;
@@ -83,8 +89,9 @@ class ScenarioCell
 TEST_P(ScenarioCell, ProgramValidAndBreakdownsConsistent)
 {
     auto [chip_name, workload_name, compiler_name] = GetParam();
-    ArtifactPtr artifact =
-        scenarioCompile(chip_name, workload_name, compiler_name);
+    ArtifactPtr artifact = scenarioCompile(chip_name, workload_name,
+                                           compiler_name,
+                                           kE2eTransformerLayers);
     const CompileResult &r = artifact->result;
 
     EXPECT_TRUE(artifact->validation.ok()) << artifact->validation.summary();
@@ -134,12 +141,14 @@ class ScenarioDominance
 TEST_P(ScenarioDominance, CmSwitchNeverSlowerThanAnyBaseline)
 {
     auto [chip_name, workload_name] = GetParam();
-    Cycles ours = scenarioCompile(chip_name, workload_name, "cmswitch")
+    Cycles ours = scenarioCompile(chip_name, workload_name, "cmswitch",
+                                  kE2eTransformerLayers)
                       ->result.totalCycles();
     for (const std::string &baseline : scenarioCompilerNames()) {
         if (baseline == "cmswitch")
             continue;
-        Cycles theirs = scenarioCompile(chip_name, workload_name, baseline)
+        Cycles theirs = scenarioCompile(chip_name, workload_name, baseline,
+                                        kE2eTransformerLayers)
                             ->result.totalCycles();
         EXPECT_LE(ours, theirs)
             << "cmswitch slower than " << baseline << " on " << chip_name
@@ -151,25 +160,39 @@ INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioDominance,
                          ::testing::Combine(allChips(), allWorkloads()),
                          cellName<ScenarioDominance::ParamType>);
 
-/** Decode steps want memory mode more than CNNs do, on every chip. */
-class ScenarioModePressure : public ::testing::TestWithParam<std::string>
+/**
+ * Decode steps want memory mode more than CNNs do, on every chip — and
+ * the dominance must survive deepening the transformer from the tier1
+ * scale (2 layers) to the e2e scale (4): depth multiplies segments, it
+ * does not dilute the decode phase's memory-mode pressure.
+ */
+class ScenarioModePressure
+    : public ::testing::TestWithParam<std::tuple<std::string, s64>>
 {
 };
 
 TEST_P(ScenarioModePressure, DecodeRunsMoreMemoryModeThanCnn)
 {
+    auto [chip_name, layers] = GetParam();
     double decode_ratio =
-        scenarioCompile(GetParam(), "opt-6.7b-decode", "cmswitch")
+        scenarioCompile(chip_name, "opt-6.7b-decode", "cmswitch", layers)
             ->result.avgMemoryArrayRatio();
-    double cnn_ratio = scenarioCompile(GetParam(), "resnet18", "cmswitch")
-                           ->result.avgMemoryArrayRatio();
-    EXPECT_GT(decode_ratio, cnn_ratio);
+    double cnn_ratio =
+        scenarioCompile(chip_name, "resnet18", "cmswitch", layers)
+            ->result.avgMemoryArrayRatio();
+    EXPECT_GT(decode_ratio, cnn_ratio)
+        << "at transformer depth " << layers;
 }
 
-INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioModePressure, allChips(),
-                         [](const ::testing::TestParamInfo<std::string> &i) {
-                             return i.param;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScenarioModePressure,
+    ::testing::Combine(allChips(),
+                       ::testing::Values(kTier1TransformerLayers,
+                                         kE2eTransformerLayers)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, s64>> &i) {
+        return std::get<0>(i.param) + "__depth"
+             + std::to_string(std::get<1>(i.param));
+    });
 
 } // namespace
 } // namespace cmswitch

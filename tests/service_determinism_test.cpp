@@ -48,7 +48,7 @@ matrixRequests()
 std::vector<std::string>
 runBatch(const std::vector<CompileRequest> &requests, s64 threads)
 {
-    CompileService service({.threads = threads, .cacheCapacity = 256});
+    CompileService service({.threads = threads, .cacheCapacity = 256, .cacheDir = ""});
     std::vector<std::future<ArtifactPtr>> futures;
     futures.reserve(requests.size());
     for (const CompileRequest &r : requests)
@@ -87,7 +87,7 @@ TEST(ServiceDeterminism, RepeatedKeysAlwaysHitTheCache)
     std::vector<CompileRequest> doubled = requests;
     doubled.insert(doubled.end(), requests.begin(), requests.end());
 
-    CompileService service({.threads = 4, .cacheCapacity = 256});
+    CompileService service({.threads = 4, .cacheCapacity = 256, .cacheDir = ""});
     std::vector<std::future<ArtifactPtr>> futures;
     for (const CompileRequest &r : doubled)
         futures.push_back(service.submit(r));

@@ -182,7 +182,7 @@ TEST(CompileArtifactFn, CompilesValidatesAndPrices)
 
 TEST(CompileService, SubmitDeduplicatesIdenticalRequests)
 {
-    CompileService service({.threads = 4, .cacheCapacity = 16});
+    CompileService service({.threads = 4, .cacheCapacity = 16, .cacheDir = ""});
     CompileRequest request;
     request.chip = testing::tinyChip(8);
     request.workload = testing::chainMlp(2);
@@ -205,7 +205,7 @@ TEST(CompileService, SubmitDeduplicatesIdenticalRequests)
 
 TEST(CompileService, MixedRequestsAllCompile)
 {
-    CompileService service({.threads = 3, .cacheCapacity = 16});
+    CompileService service({.threads = 3, .cacheCapacity = 16, .cacheDir = ""});
     std::vector<std::future<ArtifactPtr>> futures;
     for (s64 n = 1; n <= 4; ++n) {
         CompileRequest request;
@@ -230,7 +230,7 @@ TEST(CompileService, MixedRequestsAllCompile)
 
 TEST(CompileService, CompileNowSharesCacheWithSubmit)
 {
-    CompileService service({.threads = 2, .cacheCapacity = 16});
+    CompileService service({.threads = 2, .cacheCapacity = 16, .cacheDir = ""});
     CompileRequest request;
     request.chip = testing::tinyChip(8);
     request.workload = testing::chainMlp(2);

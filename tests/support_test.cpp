@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "support/common.hpp"
 #include "support/random.hpp"
+#include "support/serialize.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "test_util.hpp"
@@ -121,6 +125,113 @@ TEST(Rng, WorkloadSequencesDeterministicAcrossInstances)
         EXPECT_EQ(wa.dynamicWeights, wb.dynamicWeights);
         EXPECT_EQ(wa.aiMacsPerByte, wb.aiMacsPerByte);
     }
+}
+
+TEST(BinarySerialize, ScalarsRoundTripExactly)
+{
+    BinaryWriter w;
+    w.writeU8(0xab);
+    w.writeU32(0xdeadbeef);
+    w.writeU64(0x0123456789abcdefull);
+    w.writeS64(-42);
+    w.writeS64(std::numeric_limits<s64>::min());
+    w.writeF64(0.1);              // not representable exactly in decimal
+    w.writeF64(-0.0);             // sign of zero must survive
+    w.writeF64(1e308);
+    w.writeBool(true);
+    w.writeBool(false);
+    w.writeString("hello\0world"); // embedded NUL
+    w.writeString("");
+
+    BinaryReader r(w.bytes());
+    EXPECT_EQ(r.readU8(), 0xab);
+    EXPECT_EQ(r.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(r.readU64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.readS64(), -42);
+    EXPECT_EQ(r.readS64(), std::numeric_limits<s64>::min());
+    EXPECT_EQ(r.readF64(), 0.1);
+    double negzero = r.readF64();
+    EXPECT_EQ(negzero, 0.0);
+    EXPECT_TRUE(std::signbit(negzero));
+    EXPECT_EQ(r.readF64(), 1e308);
+    EXPECT_TRUE(r.readBool());
+    EXPECT_FALSE(r.readBool());
+    EXPECT_EQ(r.readString(), std::string("hello")); // literal stops at NUL
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(BinarySerialize, StringsWithEmbeddedNulRoundTrip)
+{
+    std::string payload("a\0b\0c", 5);
+    BinaryWriter w;
+    w.writeString(payload);
+    BinaryReader r(w.bytes());
+    EXPECT_EQ(r.readString(), payload);
+}
+
+TEST(BinarySerialize, FixedWidthLittleEndianLayout)
+{
+    BinaryWriter w;
+    w.writeU32(0x04030201u);
+    ASSERT_EQ(w.size(), 4);
+    EXPECT_EQ(w.bytes(), std::string("\x01\x02\x03\x04", 4));
+}
+
+TEST(BinarySerialize, TruncatedReadsThrow)
+{
+    BinaryWriter w;
+    w.writeU64(7);
+    std::string bytes = w.bytes().substr(0, 5);
+    BinaryReader r(bytes);
+    EXPECT_THROW(r.readU64(), SerializeError);
+
+    BinaryReader empty(std::string_view{});
+    EXPECT_THROW(empty.readU8(), SerializeError);
+}
+
+TEST(BinarySerialize, HostileStringLengthThrowsInsteadOfAllocating)
+{
+    // A string length prefix far beyond the buffer must throw, not
+    // attempt a ~2^64 byte allocation.
+    BinaryWriter w;
+    w.writeU64(static_cast<u64>(-1));
+    w.writeRaw("abc");
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(r.readString(), SerializeError);
+}
+
+TEST(BinarySerialize, BadBoolByteThrows)
+{
+    BinaryWriter w;
+    w.writeU8(2);
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(r.readBool(), SerializeError);
+}
+
+TEST(BinarySerialize, ReadBoundedRejectsOutOfRange)
+{
+    BinaryWriter w;
+    w.writeS64(100);
+    w.writeS64(-1);
+    w.writeS64(5);
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(r.readBounded(99, "tag"), SerializeError);
+    EXPECT_THROW(r.readBounded(10, "tag"), SerializeError);
+    EXPECT_EQ(r.readBounded(5, "tag"), 5);
+}
+
+TEST(BinarySerialize, TrailingBytesDetected)
+{
+    BinaryWriter w;
+    w.writeU8(1);
+    w.writeU8(2);
+    BinaryReader r(w.bytes());
+    r.readU8();
+    EXPECT_FALSE(r.atEnd());
+    EXPECT_THROW(r.expectEnd(), SerializeError);
+    EXPECT_EQ(r.remaining(), 1u);
 }
 
 TEST(Rng, WorkloadSequencesDivergeAcrossSeeds)
