@@ -1,6 +1,6 @@
 #include "service/artifact_io.hpp"
 
-#include "support/hash.hpp"
+#include "support/atomic_file.hpp"
 #include "support/serialize.hpp"
 
 namespace cmswitch {
@@ -49,33 +49,16 @@ serializeCompileArtifact(const CompileArtifact &artifact)
 {
     BinaryWriter payload;
     writeArtifactPayload(payload, artifact);
-
-    BinaryWriter file;
-    file.writeRaw(kPlanFormatTag);
-    file.writeU64(static_cast<u64>(payload.bytes().size()));
-    file.writeU64(fnv1a64(payload.bytes()));
-    file.writeRaw(payload.bytes());
-    return file.take();
+    return wrapEnvelope(kPlanFormatTag, payload.bytes());
 }
 
 ArtifactPtr
 deserializeCompileArtifact(std::string_view data, std::string *error)
 {
+    std::string_view payload;
+    if (!unwrapEnvelope(kPlanFormatTag, data, &payload, error))
+        return nullptr;
     try {
-        BinaryReader r(data);
-        std::string tag = r.readRaw(kPlanFormatTag.size());
-        if (tag != kPlanFormatTag)
-            return fail(error, "format tag mismatch (not a cmswitch plan, "
-                               "or a different format version)");
-        u64 length = r.readU64();
-        u64 digest = r.readU64();
-        if (length != r.remaining())
-            return fail(error, "payload length mismatch (truncated or "
-                               "trailing bytes)");
-        std::string_view payload =
-            data.substr(data.size() - r.remaining());
-        if (fnv1a64(payload) != digest)
-            return fail(error, "payload digest mismatch (corrupt)");
         BinaryReader body(payload);
         return readArtifactPayload(body);
     } catch (const std::exception &e) {
@@ -85,6 +68,27 @@ deserializeCompileArtifact(std::string_view data, std::string *error)
         // artifact", never as an escaping exception.
         return fail(error, e.what());
     }
+}
+
+ArtifactPtr
+readPlanFile(const std::string &path, const std::string &expected_key,
+             std::string *error, bool *missing)
+{
+    if (missing)
+        *missing = false;
+    std::string data;
+    if (!readFileBytes(path, &data)) {
+        if (missing)
+            *missing = true;
+        return fail(error, "cannot open file");
+    }
+
+    ArtifactPtr artifact = deserializeCompileArtifact(data, error);
+    if (artifact && artifact->key != expected_key) {
+        return fail(error, "embedded request key '" + artifact->key
+                               + "' does not match file name");
+    }
+    return artifact;
 }
 
 } // namespace cmswitch

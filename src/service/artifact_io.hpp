@@ -51,6 +51,21 @@ std::string serializeCompileArtifact(const CompileArtifact &artifact);
 ArtifactPtr deserializeCompileArtifact(std::string_view data,
                                        std::string *error = nullptr);
 
+/**
+ * The one plan-file validation protocol: read @p path, deserialize,
+ * and require the embedded request key to equal @p expected_key.
+ * Returns nullptr with a one-line reason in @p error (when non-null)
+ * on any failure; an unopenable file additionally sets @p missing
+ * (when non-null), so callers can tell a plain cache miss from a
+ * damaged file. DiskPlanCache::load and `cmswitchc cache verify` both
+ * go through here, so a file verify accepts is exactly a file a load
+ * would serve.
+ */
+ArtifactPtr readPlanFile(const std::string &path,
+                         const std::string &expected_key,
+                         std::string *error = nullptr,
+                         bool *missing = nullptr);
+
 } // namespace cmswitch
 
 #endif // CMSWITCH_SERVICE_ARTIFACT_IO_HPP

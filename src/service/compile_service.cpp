@@ -4,6 +4,7 @@
 #include "baselines/baseline.hpp"
 #include "graph/passes.hpp"
 #include "graph/serialize.hpp"
+#include "service/plan_fingerprint.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
 
@@ -12,10 +13,15 @@ namespace cmswitch {
 std::string
 requestKey(const CompileRequest &request)
 {
-    // Hash canonical text serialisations, not struct bytes: padding and
-    // field order stay out of the key, and renaming a preset chip file
-    // to identical content still hits.
-    u64 h = fnv1a64(serializeChipConfig(request.chip));
+    // The key opens with the build/algorithm fingerprint: a registered
+    // compiler change (or a library version bump) re-keys every request,
+    // so persistent caches never serve plans from a different compiler
+    // build (service/plan_fingerprint.hpp). Then hash canonical text
+    // serialisations, not struct bytes: padding and field order stay
+    // out of the key, and renaming a preset chip file to identical
+    // content still hits.
+    u64 h = buildFingerprint();
+    h = fnv1a64(serializeChipConfig(request.chip), h);
     h = fnv1a64(serializeGraph(request.workload), h);
     h = fnv1a64(request.compilerId, h);
     h = fnv1a64(request.optimize ? "|optimize" : "|raw", h);

@@ -51,10 +51,12 @@ struct CompileRequest
 };
 
 /**
- * Canonical content key of @p request: an FNV-1a digest over the
- * textual serialisations of the chip config and workload graph plus
- * the compiler id and option flags. Two requests with equal keys
- * compile to identical artifacts.
+ * Canonical content key of @p request: an FNV-1a digest seeded with the
+ * build/algorithm fingerprint (service/plan_fingerprint.hpp) and chained
+ * over the textual serialisations of the chip config and workload graph
+ * plus the compiler id and option flags. Two requests with equal keys
+ * compile to identical artifacts; a compiler change that bumps a pass
+ * revision changes every key, invalidating persistent caches.
  */
 std::string requestKey(const CompileRequest &request);
 

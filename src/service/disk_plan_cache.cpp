@@ -1,42 +1,17 @@
 #include "service/disk_plan_cache.hpp"
 
-#include <atomic>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <system_error>
 
-#ifdef _WIN32
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
-
 #include "service/artifact_io.hpp"
+#include "service/stats_sidecar.hpp"
+#include "support/atomic_file.hpp"
 #include "support/json.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
 
 namespace fs = std::filesystem;
-
-namespace {
-
-/** Process + sequence suffix that makes temp file names collision-free
- *  across concurrent writers of the same key. */
-std::string
-tempSuffix()
-{
-    static std::atomic<u64> sequence{0};
-#ifdef _WIN32
-    u64 pid = static_cast<u64>(_getpid());
-#else
-    u64 pid = static_cast<u64>(::getpid());
-#endif
-    return std::to_string(pid) + "." + std::to_string(++sequence);
-}
-
-} // namespace
 
 void
 DiskPlanCacheStats::writeJsonFields(JsonWriter &w) const
@@ -61,6 +36,22 @@ DiskPlanCache::DiskPlanCache(std::string directory)
                       " exists and is not a directory");
 }
 
+DiskPlanCache::~DiskPlanCache()
+{
+    bool dirty;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dirty = stats_.hits != flushed_.hits
+             || stats_.misses != flushed_.misses
+             || stats_.stores != flushed_.stores
+             || stats_.rejected != flushed_.rejected;
+    }
+    // Nothing new since the last flush (e.g. batch mode flushed for its
+    // summary moments ago): skip the sidecar I/O entirely.
+    if (dirty)
+        flushSidecar();
+}
+
 std::string
 DiskPlanCache::planPath(const std::string &key) const
 {
@@ -71,22 +62,13 @@ ArtifactPtr
 DiskPlanCache::load(const std::string &key)
 {
     std::string path = planPath(key);
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    std::string error;
+    bool missing = false;
+    ArtifactPtr artifact = readPlanFile(path, key, &error, &missing);
+    if (missing) { // absent: a plain miss, not a rejection
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
         return nullptr;
-    }
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    std::string data = oss.str();
-
-    std::string error;
-    ArtifactPtr artifact = deserializeCompileArtifact(data, &error);
-    if (artifact && artifact->key != key) {
-        error = "embedded request key '" + artifact->key
-              + "' does not match file name";
-        artifact = nullptr;
     }
     if (!artifact) {
         informVerbose("ignoring plan file ", path, ": ", error);
@@ -99,6 +81,11 @@ DiskPlanCache::load(const std::string &key)
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
     }
+    // Refresh the plan file's mtime so `cmswitchc cache gc` (LRU by
+    // mtime) treats reads as uses, not just writes. Best effort: a
+    // read-only cache directory still serves hits.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return artifact;
 }
 
@@ -110,30 +97,13 @@ DiskPlanCache::store(const std::string &key, const ArtifactPtr &artifact)
                     "artifact key does not match store key");
     std::string image = serializeCompileArtifact(*artifact);
 
-    // Write to a process-unique temp name, then publish atomically:
+    // Temp-file + atomic-rename publication (support/atomic_file.hpp):
     // concurrent readers see the old plan, the new plan, or nothing —
-    // never a torn file.
-    fs::path final_path = planPath(key);
-    fs::path tmp_path =
-        fs::path(directory_) / (key + ".plan.tmp." + tempSuffix());
-    {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!out || !(out << image) || !out.flush()) {
-            warn("cannot write plan cache temp file ", tmp_path.string(),
-                 "; dropping store");
-            std::error_code ec;
-            fs::remove(tmp_path, ec);
-            return;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        warn("cannot publish plan cache file ", final_path.string(), ": ",
-             ec.message());
-        fs::remove(tmp_path, ec);
+    // never a torn file. A failed publication is a dropped store, not
+    // an error — the cache is an accelerator, not a durability
+    // contract.
+    if (!publishFileAtomically(planPath(key), image))
         return;
-    }
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
 }
@@ -154,6 +124,24 @@ DiskPlanCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+DiskPlanCacheStats
+DiskPlanCache::flushSidecar()
+{
+    DiskPlanCacheStats delta;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        delta.hits = stats_.hits - flushed_.hits;
+        delta.misses = stats_.misses - flushed_.misses;
+        delta.stores = stats_.stores - flushed_.stores;
+        delta.rejected = stats_.rejected - flushed_.rejected;
+        flushed_ = stats_;
+    }
+    if (delta.hits == 0 && delta.misses == 0 && delta.stores == 0
+        && delta.rejected == 0)
+        return readStatsSidecar(directory_);
+    return mergeStatsSidecar(directory_, delta);
 }
 
 } // namespace cmswitch

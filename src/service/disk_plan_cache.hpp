@@ -58,6 +58,9 @@ class DiskPlanCache
      *  fails or the path exists and is not a directory (user error). */
     explicit DiskPlanCache(std::string directory);
 
+    /** Flushes unreported stats into the cross-process sidecar. */
+    ~DiskPlanCache();
+
     /**
      * Load the artifact for @p key, or nullptr when no usable plan file
      * exists. Unreadable/invalid files are rejected silently (the
@@ -89,11 +92,21 @@ class DiskPlanCache
 
     DiskPlanCacheStats stats() const;
 
+    /**
+     * Merge the stats accumulated since the last flush into the
+     * cross-process sidecar file (service/stats_sidecar.hpp) and return
+     * the merged lifetime totals. Idempotent — a second flush with no
+     * new activity adds nothing. Runs automatically on destruction, so
+     * short-lived processes still contribute their counters.
+     */
+    DiskPlanCacheStats flushSidecar();
+
   private:
     std::string directory_;
 
-    mutable std::mutex mutex_; ///< guards stats_ only; I/O runs unlocked
+    mutable std::mutex mutex_; ///< guards stats_/flushed_; I/O unlocked
     DiskPlanCacheStats stats_;
+    DiskPlanCacheStats flushed_; ///< snapshot already merged to sidecar
 };
 
 } // namespace cmswitch

@@ -1,0 +1,97 @@
+#include "service/plan_fingerprint.hpp"
+
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "service/artifact_io.hpp"
+#include "support/hash.hpp"
+
+#ifndef CMSWITCH_VERSION
+#define CMSWITCH_VERSION "dev"
+#endif
+
+namespace cmswitch {
+
+namespace {
+
+std::mutex bump_mutex; // guards testBumps() and cachedFingerprint()
+
+std::map<std::string, s64> &
+testBumps()
+{
+    static std::map<std::string, s64> bumps;
+    return bumps;
+}
+
+/** Memoized digest: outside tests the fingerprint is a process
+ *  constant, and requestKey() calls this on every submission. Bumps
+ *  reset it. */
+std::optional<u64> &
+cachedFingerprint()
+{
+    static std::optional<u64> cached;
+    return cached;
+}
+
+} // namespace
+
+const std::vector<AlgorithmRevision> &
+algorithmRevisions()
+{
+    // One row per pass whose output lands in a CompileArtifact. All
+    // start at revision 1 (the revision history begins with this
+    // table); bump a row when its pass's output changes.
+    static const std::vector<AlgorithmRevision> kTable = {
+        {"frontend-passes", 1}, // graph/passes.cpp
+        {"partitioner", 1},     // compiler/partitioner.cpp
+        {"segmenter", 1},       // compiler/segmenter.cpp
+        {"allocator", 1},       // compiler/allocator.cpp
+        {"codegen", 1},         // compiler/codegen.cpp
+        {"cost-model", 1},      // cost/cost_model.cpp
+        {"mip-solver", 1},      // solver/
+        {"baselines", 1},       // baselines/ (cim-mlc, occ, puma)
+        {"energy-model", 1},    // sim/energy.cpp
+        {"validator", 1},       // metaop/validator.cpp
+    };
+    return kTable;
+}
+
+u64
+buildFingerprint()
+{
+    std::lock_guard<std::mutex> lock(bump_mutex);
+    if (cachedFingerprint())
+        return *cachedFingerprint();
+    u64 h = fnv1a64(kPlanFormatTag);
+    h = fnv1a64(CMSWITCH_VERSION, h);
+    for (const AlgorithmRevision &entry : algorithmRevisions()) {
+        s64 revision = entry.revision;
+        auto it = testBumps().find(entry.pass);
+        if (it != testBumps().end())
+            revision += it->second;
+        h = fnv1a64(entry.pass, h);
+        h = fnv1a64(":" + std::to_string(revision) + ";", h);
+    }
+    cachedFingerprint() = h;
+    return h;
+}
+
+std::string
+buildFingerprintHex()
+{
+    return hexDigest(buildFingerprint());
+}
+
+void
+bumpAlgorithmRevisionForTesting(const std::string &pass, s64 delta)
+{
+    std::lock_guard<std::mutex> lock(bump_mutex);
+    s64 &bump = testBumps()[pass];
+    bump += delta;
+    if (bump == 0)
+        testBumps().erase(pass);
+    cachedFingerprint().reset();
+}
+
+} // namespace cmswitch

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Build/algorithm fingerprint folded into every plan-cache request key.
+ *
+ * The persistent plan cache is keyed by request *content* (chip,
+ * workload, compiler id, options). Content alone cannot tell two
+ * compiler builds apart: a code change that alters generated plans
+ * would otherwise serve stale artifacts until someone remembered to
+ * bump kPlanFormatTag. The fingerprint closes that hole — an FNV-1a
+ * digest over the plan format tag, the library version, and a per-pass
+ * algorithm-revision table — and requestKey() opens with it, so any
+ * registered compiler change re-keys every request and old disk
+ * artifacts are simply never looked up again (they become inert data
+ * for `cmswitchc cache gc` to reap).
+ *
+ * Maintenance contract: when you change the *output* of a compiler
+ * pass — different segmentation, different allocation, different
+ * latency accounting — bump that pass's revision in
+ * algorithmRevisions(). Format-layout changes still bump
+ * kPlanFormatTag; the fingerprint covers semantic changes the format
+ * cannot see.
+ */
+
+#ifndef CMSWITCH_SERVICE_PLAN_FINGERPRINT_HPP
+#define CMSWITCH_SERVICE_PLAN_FINGERPRINT_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** One compiler pass whose output shape feeds compiled plans. */
+struct AlgorithmRevision
+{
+    const char *pass; ///< stable pass name, part of the digest
+    s64 revision;     ///< bump when the pass's output changes
+};
+
+/** The compiled-in revision table (without test bumps). */
+const std::vector<AlgorithmRevision> &algorithmRevisions();
+
+/**
+ * Digest of kPlanFormatTag + library version + the revision table
+ * (including any test bumps). Identical across processes of one build;
+ * different whenever a revision or the version changes.
+ */
+u64 buildFingerprint();
+
+/** buildFingerprint() as 16 lowercase hex digits (the reportable form). */
+std::string buildFingerprintHex();
+
+/**
+ * Test hook: add @p delta to @p pass's effective revision, process-wide
+ * (pass a negative delta to undo). Lets tests prove that a revision
+ * bump alone re-keys requests and forces recompilation.
+ */
+void bumpAlgorithmRevisionForTesting(const std::string &pass, s64 delta);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_PLAN_FINGERPRINT_HPP

@@ -1,0 +1,77 @@
+#include "support/atomic_file.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "support/common.hpp"
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Process + sequence suffix that makes temp file names collision-free
+ *  across concurrent writers of one target. */
+std::string
+tempSuffix()
+{
+    static std::atomic<u64> sequence{0};
+#ifdef _WIN32
+    u64 pid = static_cast<u64>(_getpid());
+#else
+    u64 pid = static_cast<u64>(::getpid());
+#endif
+    return std::to_string(pid) + "." + std::to_string(++sequence);
+}
+
+} // namespace
+
+bool
+publishFileAtomically(const fs::path &final_path, std::string_view bytes)
+{
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp." + tempSuffix();
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out || !(out << bytes) || !out.flush()) {
+            warn("cannot write temp file ", tmp_path.string(),
+                 "; dropping publication of ", final_path.string());
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("cannot publish ", final_path.string(), ": ", ec.message());
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileBytes(const fs::path &path, std::string *out)
+{
+    out->clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    *out = oss.str();
+    return true;
+}
+
+} // namespace cmswitch

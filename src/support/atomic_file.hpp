@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Atomic file publication, shared by everything that drops files into a
+ * concurrently-read directory (plan-cache artifact stores, the stats
+ * sidecar). One copy of the protocol: bytes go to a process-unique
+ * temp name next to the target, then an atomic rename publishes them,
+ * so a reader sees the old file, the new file, or no file — never a
+ * torn one.
+ */
+
+#ifndef CMSWITCH_SUPPORT_ATOMIC_FILE_HPP
+#define CMSWITCH_SUPPORT_ATOMIC_FILE_HPP
+
+#include <filesystem>
+#include <string_view>
+
+namespace cmswitch {
+
+/**
+ * Publish @p bytes at @p final_path via `<final>.tmp.<pid>.<seq>` +
+ * rename. Best effort: on I/O failure the temp file is removed, a
+ * warning is logged, and false is returned — callers treat publication
+ * as an accelerator, not a durability contract.
+ */
+bool publishFileAtomically(const std::filesystem::path &final_path,
+                           std::string_view bytes);
+
+/**
+ * Read @p path fully into @p out (binary). Returns false — leaving
+ * @p out empty — when the file cannot be opened. The read half of the
+ * publication protocol above: published files are replaced atomically,
+ * so a successful open reads a complete document.
+ */
+bool readFileBytes(const std::filesystem::path &path, std::string *out);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_ATOMIC_FILE_HPP

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "support/hash.hpp"
+
 namespace cmswitch {
 
 namespace {
@@ -30,6 +32,48 @@ loadLe(const void *bytes)
 }
 
 } // namespace
+
+std::string
+wrapEnvelope(std::string_view tag, std::string_view payload)
+{
+    BinaryWriter file;
+    file.writeRaw(tag);
+    file.writeU64(static_cast<u64>(payload.size()));
+    file.writeU64(fnv1a64(payload));
+    file.writeRaw(payload);
+    return file.take();
+}
+
+bool
+unwrapEnvelope(std::string_view tag, std::string_view data,
+               std::string_view *payload, std::string *error)
+{
+    auto fail = [error](const char *reason) {
+        if (error)
+            *error = reason;
+        return false;
+    };
+    try {
+        BinaryReader r(data);
+        if (r.readRaw(tag.size()) != tag)
+            return fail("format tag mismatch (not this format, or a "
+                        "different format version)");
+        u64 length = r.readU64();
+        u64 digest = r.readU64();
+        if (length != r.remaining())
+            return fail("payload length mismatch (truncated or trailing "
+                        "bytes)");
+        std::string_view body = data.substr(data.size() - r.remaining());
+        if (fnv1a64(body) != digest)
+            return fail("payload digest mismatch (corrupt)");
+        *payload = body;
+        return true;
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
 
 BinaryWriter &
 BinaryWriter::writeU8(u8 value)

@@ -31,6 +31,28 @@
 
 namespace cmswitch {
 
+/**
+ * Wrap @p payload in the standard on-disk envelope: the raw @p tag
+ * (format name + version, e.g. "cmswitch-plan-v1\n"), a u64 payload
+ * byte length, a u64 FNV-1a digest of the payload, then the payload
+ * bytes. Truncation and bit corruption are detectable *before* any
+ * payload parsing; a future format version is a different tag, so old
+ * readers reject it instead of misparsing it. Used by the plan cache's
+ * artifact files and its stats sidecar.
+ */
+std::string wrapEnvelope(std::string_view tag, std::string_view payload);
+
+/**
+ * Validate and strip the envelope written by wrapEnvelope(). On success
+ * @p payload points into @p data (the caller keeps @p data alive) and
+ * the return is true; on any mismatch — wrong tag, bad length, digest
+ * failure — returns false with a one-line reason in @p error (when
+ * non-null). Never throws: envelope files come from disk and a damaged
+ * one is an expected environmental condition.
+ */
+bool unwrapEnvelope(std::string_view tag, std::string_view data,
+                    std::string_view *payload, std::string *error = nullptr);
+
 /** A malformed, truncated, or version-mismatched binary payload. */
 class SerializeError : public std::runtime_error
 {

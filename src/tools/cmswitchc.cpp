@@ -2,10 +2,12 @@
  * @file
  * cmswitchc — command-line driver for the CMSwitch compiler.
  *
- * Two modes:
+ * Three modes:
  *   cmswitchc --model ... [options]   single compile (the classic CLI)
  *   cmswitchc batch --jobs FILE ...   many compiles through the
  *                                     thread-pooled compile service
+ *   cmswitchc cache <gc|stats|verify> lifecycle maintenance of a
+ *                                     --cache-dir plan directory
  *
  * Flags, defaults and examples live in one place: the kUsage text
  * below, printed by `cmswitchc --help`. Running without arguments
@@ -32,9 +34,11 @@
 #include "graph/serialize.hpp"
 #include "metaop/printer.hpp"
 #include "metaop/validator.hpp"
+#include "service/cache_maintenance.hpp"
 #include "service/compile_service.hpp"
 #include "service/disk_plan_cache.hpp"
 #include "service/json_report.hpp"
+#include "service/plan_fingerprint.hpp"
 #include "sim/energy.hpp"
 #include "sim/timing.hpp"
 #include "support/json.hpp"
@@ -51,6 +55,7 @@ namespace {
 const char kUsage[] =
     R"(usage: cmswitchc --model <zoo-name | file.graph> [options]
        cmswitchc batch --jobs <file> --out-dir <dir> [batch options]
+       cmswitchc cache <gc|stats|verify> --cache-dir <dir> [cache options]
 
 Compile a DNN for a dual-mode CIM chip and report the schedule.
 
@@ -91,11 +96,31 @@ report per job plus an aggregate summary:
   --cache-dir DIR        persistent plan cache shared with other runs
                          (lookups go memory -> disk -> compile)
 
+Cache mode maintains a --cache-dir populated by earlier runs; every
+verb prints a JSON report to stdout:
+  cache gc --cache-dir DIR --max-bytes N [--max-age SEC]
+                         delete the least-recently-used artifacts (by
+                         file mtime; hits refresh it) until the *.plan
+                         bytes fit under N; --max-age SEC first expires
+                         artifacts unused for longer than SEC seconds.
+                         At least one bound is required. Orphaned
+                         writer temp files are reaped; the stats
+                         sidecar is never deleted
+  cache stats --cache-dir DIR
+                         cross-process lifetime hit/miss/store/reject
+                         totals (the cache-stats.sidecar file), plan
+                         file count/bytes, and the build fingerprint
+  cache verify --cache-dir DIR [--delete]
+                         validate every artifact envelope, digest and
+                         embedded key; --delete removes damaged files;
+                         exits 1 when damaged files remain
+
 Examples:
   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
   cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
   cmswitchc --model resnet18 --emit-json resnet18.json --stats
   cmswitchc batch --jobs jobs.txt --threads 4 --out-dir reports/
+  cmswitchc cache gc --cache-dir plans/ --max-bytes 104857600
 )";
 
 /** CLI usage error: complain, point at --help, exit 2 (not a crash). */
@@ -617,9 +642,15 @@ batchMain(int argc, char **argv)
     double wall = std::chrono::duration<double>(t1 - t0).count();
 
     CompileServiceStats stats = service.stats();
+    // Lifetime totals across every process that ever used this
+    // --cache-dir: flush this run's deltas into the sidecar now (the
+    // destructor's flush then adds nothing) and report the merged sums.
+    DiskPlanCacheStats sidecar;
+    if (service.diskCache())
+        sidecar = service.diskCache()->flushSidecar();
     JsonWriter w;
     w.beginObject()
-        .field("schema", "cmswitch-batch-summary-v2")
+        .field("schema", "cmswitch-batch-summary-v3")
         .field("jobs", static_cast<s64>(jobs.size()))
         .field("threads", batch.threads)
         .field("invalid_jobs", invalid)
@@ -630,10 +661,17 @@ batchMain(int argc, char **argv)
         .field("hits", stats.cache.hits)
         .field("misses", stats.cache.misses)
         .field("evictions", stats.cache.evictions)
-        .field("dir", batch.cacheDir);
+        .field("dir", batch.cacheDir)
+        .field("fingerprint", buildFingerprintHex());
     // In-memory misses that a --cache-dir plan file satisfied show up
     // as disk_hits; only (misses - disk_hits) actually compiled.
     stats.disk.writeJsonFields(w);
+    // Cross-process lifetime totals from the stats sidecar (all zero
+    // when --cache-dir is off).
+    w.field("sidecar_hits", sidecar.hits)
+        .field("sidecar_misses", sidecar.misses)
+        .field("sidecar_stores", sidecar.stores)
+        .field("sidecar_rejected", sidecar.rejected);
     w.endObject();
     w.key("job_reports").beginArray();
     for (std::size_t k = 0; k < jobs.size(); ++k) {
@@ -669,6 +707,81 @@ batchMain(int argc, char **argv)
     return invalid == 0 ? 0 : 1;
 }
 
+/** `cmswitchc cache <gc|stats|verify>`: plan-cache lifecycle ops. All
+ *  verbs print their JSON report to stdout (stderr stays free for
+ *  warnings), so CI steps and scripts can pipe straight into a JSON
+ *  parser. */
+int
+cacheMain(int argc, char **argv)
+{
+    if (argc <= 2)
+        usageError("cache mode requires a verb: gc, stats, or verify");
+    std::string verb = argv[2];
+    if (verb == "--help") {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (verb != "gc" && verb != "stats" && verb != "verify")
+        usageError("unknown cache verb '" + verb
+                   + "' (expected gc, stats, or verify)");
+
+    std::string dir;
+    s64 max_bytes = -1;
+    s64 max_age = -1;
+    bool remove_damaged = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError(flag + " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--cache-dir")
+            dir = next();
+        else if (flag == "--max-bytes" && verb == "gc")
+            max_bytes = parseIntToken(flag, next(), 0, "");
+        else if (flag == "--max-age" && verb == "gc")
+            max_age = parseIntToken(flag, next(), 0, "");
+        else if (flag == "--delete" && verb == "verify")
+            remove_damaged = true;
+        else if (flag == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else {
+            usageError("unknown cache " + verb + " flag '" + flag + "'");
+        }
+    }
+    if (dir.empty())
+        usageError("cache " + verb + " requires --cache-dir");
+
+    JsonWriter w;
+    if (verb == "gc") {
+        if (max_bytes < 0 && max_age < 0)
+            usageError("cache gc needs --max-bytes and/or --max-age "
+                       "(otherwise there is nothing to collect)");
+        CacheGcReport report = gcPlanCache({dir, max_bytes, max_age});
+        report.writeJson(w);
+        std::cout << w.str() << "\n";
+        std::cerr << "cmswitchc: cache gc deleted " << report.deletedFiles
+                  << " of " << report.scannedFiles << " artifact(s) ("
+                  << report.deletedBytes << " of " << report.scannedBytes
+                  << " bytes) in " << dir << "\n";
+        return 0;
+    }
+    if (verb == "stats") {
+        statsPlanCache(dir).writeJson(w);
+        std::cout << w.str() << "\n";
+        return 0;
+    }
+    CacheVerifyReport report = verifyPlanCache({dir, remove_damaged});
+    report.writeJson(w);
+    std::cout << w.str() << "\n";
+    std::cerr << "cmswitchc: cache verify found " << report.damagedFiles
+              << " damaged of " << report.scannedFiles << " artifact(s) in "
+              << dir << "\n";
+    return report.clean() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -676,6 +789,8 @@ cliMain(int argc, char **argv)
 {
     if (argc > 1 && std::string(argv[1]) == "batch")
         return batchMain(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "cache")
+        return cacheMain(argc, argv);
     return singleMain(argc, argv);
 }
 

@@ -5,10 +5,15 @@
 #      identical reports, the second reporting a disk hit on stderr;
 #   2. corrupted / truncated / version-bumped artifact files silently
 #      recompile and still produce the identical report;
-#   3. the full 3-chip x 4-workload x 4-compiler batch matrix run cold
+#   3. `cache stats` sees the *lifetime* totals those five processes
+#      merged into the stats sidecar;
+#   4. the full 3-chip x 4-workload x 4-compiler batch matrix run cold
 #      (serial) then warm (4 threads) over a shared --cache-dir: the
-#      warm pass compiles nothing (every unique key is a disk hit) and
-#      every per-job report is byte-identical to the cold serial run.
+#      warm pass compiles nothing (every unique key is a disk hit),
+#      every per-job report is byte-identical to the cold serial run,
+#      and the v3 summaries carry matching sidecar/fingerprint fields;
+#   5. `cache verify` passes the warm directory, `cache gc
+#      --max-bytes 0` then reaps every artifact but never the sidecar.
 # Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P cache_smoke.cmake`.
 
 if(NOT CMSWITCHC)
@@ -18,8 +23,12 @@ if(NOT WORK_DIR)
     message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
 endif()
 
-file(REMOVE_RECURSE ${WORK_DIR})
-file(MAKE_DIRECTORY ${WORK_DIR})
+# A failed run aborts mid-script (FATAL_ERROR) and leaves its scratch
+# tree behind; this guard removes any such leftovers so repeated local
+# runs always start cold. The tail of a *successful* run removes the
+# tree too.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
 set(cache_dir ${WORK_DIR}/plan-cache)
 
 # --- 1. single mode: second process must warm-start from disk ---------
@@ -90,7 +99,45 @@ if(NOT same EQUAL 0)
     message(FATAL_ERROR "report after truncated-artifact recompile differs")
 endif()
 
-# --- 3. batch matrix: cold serial, then warm multi-threaded -----------
+# --- 3. cache stats: lifetime totals survive across processes ---------
+
+# run_cache(<out_var> <verb> <args...>): run a `cmswitchc cache` verb
+# and return its stdout JSON report.
+function(run_cache out_var verb)
+    execute_process(COMMAND ${CMSWITCHC} cache ${verb} ${ARGN}
+                    RESULT_VARIABLE result
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT result EQUAL 0)
+        message(FATAL_ERROR "cmswitchc cache ${verb} failed (${result}):\n"
+                            "${err}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# expect_json(<document> <expected> <path...>): check one JSON field.
+function(expect_json document expected)
+    string(JSON actual GET "${document}" ${ARGN})
+    if(NOT actual STREQUAL expected)
+        message(FATAL_ERROR "json ${ARGN}: expected '${expected}', "
+                            "got '${actual}'")
+    endif()
+endfunction()
+
+# Five single-mode processes touched the cache above: 1 cold miss+store,
+# 1 warm hit, then 3 damaged-artifact runs (reject+miss+store each).
+# Each process flushed its counters into the sidecar on exit; `cache
+# stats` (a sixth process) must see the merged lifetime totals.
+run_cache(stats_doc stats --cache-dir ${cache_dir})
+expect_json("${stats_doc}" ON sidecar_present)
+expect_json("${stats_doc}" 1 hits)
+expect_json("${stats_doc}" 4 misses)
+expect_json("${stats_doc}" 4 stores)
+expect_json("${stats_doc}" 3 rejected)
+expect_json("${stats_doc}" 1 plan_files)
+string(JSON build_fingerprint GET "${stats_doc}" fingerprint)
+
+# --- 4. batch matrix: cold serial, then warm multi-threaded -----------
 
 set(tiny_chip ${WORK_DIR}/tiny.chip)
 file(WRITE ${tiny_chip} "\
@@ -156,12 +203,20 @@ endfunction()
 
 # Cold pass: nothing on disk yet -> every unique key misses disk and is
 # stored; warm pass: every unique key is served from disk, zero stores.
+# The v3 summaries also carry the cross-process sidecar totals (cold
+# flushed before its summary, warm sees cold's flush plus its own) and
+# the build fingerprint every process of this build agrees on.
 file(READ ${WORK_DIR}/cold-serial/summary.json cold_summary)
+expect_summary("${cold_summary}" cmswitch-batch-summary-v3 schema)
 expect_summary("${cold_summary}" ${job_count} jobs)
 expect_summary("${cold_summary}" 0 invalid_jobs)
 expect_summary("${cold_summary}" ${job_count} cache disk_misses)
 expect_summary("${cold_summary}" ${job_count} cache disk_stores)
 expect_summary("${cold_summary}" 0 cache disk_hits)
+expect_summary("${cold_summary}" 0 cache sidecar_hits)
+expect_summary("${cold_summary}" ${job_count} cache sidecar_misses)
+expect_summary("${cold_summary}" ${job_count} cache sidecar_stores)
+expect_summary("${cold_summary}" ${build_fingerprint} cache fingerprint)
 
 file(READ ${WORK_DIR}/warm-mt/summary.json warm_summary)
 expect_summary("${warm_summary}" 0 invalid_jobs)
@@ -169,6 +224,10 @@ expect_summary("${warm_summary}" ${job_count} cache disk_hits)
 expect_summary("${warm_summary}" 0 cache disk_misses)
 expect_summary("${warm_summary}" 0 cache disk_stores)
 expect_summary("${warm_summary}" 0 cache disk_rejected)
+expect_summary("${warm_summary}" ${job_count} cache sidecar_hits)
+expect_summary("${warm_summary}" ${job_count} cache sidecar_misses)
+expect_summary("${warm_summary}" ${job_count} cache sidecar_stores)
+expect_summary("${warm_summary}" ${build_fingerprint} cache fingerprint)
 
 # Warm multi-threaded reports must be byte-identical to cold serial.
 file(GLOB reports RELATIVE ${WORK_DIR}/cold-serial
@@ -189,5 +248,31 @@ foreach(report IN LISTS reports)
     endif()
 endforeach()
 
+# --- 5. lifecycle: verify passes, gc reaps plans but not the sidecar --
+
+run_cache(verify_doc verify --cache-dir ${batch_cache})
+expect_json("${verify_doc}" ${job_count} scanned_files)
+expect_json("${verify_doc}" ${job_count} valid_files)
+expect_json("${verify_doc}" 0 damaged_files)
+expect_json("${verify_doc}" ON clean)
+
+run_cache(gc_doc gc --cache-dir ${batch_cache} --max-bytes 0)
+expect_json("${gc_doc}" ${job_count} scanned_files)
+expect_json("${gc_doc}" ${job_count} deleted_files)
+expect_json("${gc_doc}" 0 kept_files)
+
+# Post-gc: the artifacts are gone, the sidecar totals are not.
+run_cache(post_gc_stats stats --cache-dir ${batch_cache})
+expect_json("${post_gc_stats}" 0 plan_files)
+expect_json("${post_gc_stats}" ON sidecar_present)
+expect_json("${post_gc_stats}" ${job_count} hits)
+expect_json("${post_gc_stats}" ${job_count} misses)
+expect_json("${post_gc_stats}" ${job_count} stores)
+
 message(STATUS "cache_smoke: single-mode warm start, damaged-artifact "
-               "recompile, and ${job_count}-job warm batch all check out")
+               "recompile, sidecar stats, ${job_count}-job warm batch, "
+               "and gc/verify lifecycle all check out")
+
+# Success: leave nothing behind (the guard at the top handles the
+# leftovers of *failed* runs).
+file(REMOVE_RECURSE "${WORK_DIR}")

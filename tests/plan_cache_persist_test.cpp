@@ -31,6 +31,7 @@
 #include "service/artifact_io.hpp"
 #include "service/disk_plan_cache.hpp"
 #include "service/json_report.hpp"
+#include "service/plan_fingerprint.hpp"
 #include "scenario_util.hpp"
 
 namespace cmswitch {
@@ -325,6 +326,81 @@ TEST(ServiceDiskCache, WarmServiceServesEveryKeyFromDisk)
         EXPECT_EQ(stats.disk.misses, 0);
         EXPECT_EQ(stats.disk.stores, 0);
         EXPECT_EQ(stats.cache.hits, 1);
+    }
+}
+
+/** Applies an algorithm-revision bump for one scope, then reverts it —
+ *  even when an assertion fails mid-test. */
+class RevisionBumpGuard
+{
+  public:
+    RevisionBumpGuard(const char *pass, s64 delta)
+        : pass_(pass), delta_(delta)
+    {
+        bumpAlgorithmRevisionForTesting(pass_, delta_);
+    }
+    ~RevisionBumpGuard() { bumpAlgorithmRevisionForTesting(pass_, -delta_); }
+
+  private:
+    const char *pass_;
+    s64 delta_;
+};
+
+TEST(ServiceDiskCache, FingerprintBumpAloneForcesDiskMissThenRestore)
+{
+    ScratchDir dir("fingerprint");
+
+    CompileRequest request;
+    request.chip = scenarioChip("tiny");
+    request.workload = scenarioWorkload("resnet18");
+    request.compilerId = "cmswitch";
+
+    const std::string original_key = requestKey(request);
+    std::string cold_report;
+    {
+        CompileService service({.threads = 1, .cacheCapacity = 4,
+                                .cacheDir = dir.str()});
+        cold_report = renderCompileReport(*service.compileNow(request));
+        CompileServiceStats stats = service.stats();
+        EXPECT_EQ(stats.disk.misses, 1);
+        EXPECT_EQ(stats.disk.stores, 1);
+    }
+    {
+        // Bumping one pass revision — nothing else — must re-key the
+        // request: the stale plan is never looked up (a clean disk
+        // miss, not a rejection) and the recompile lands under the new
+        // key.
+        RevisionBumpGuard bump("segmenter", 1);
+        const std::string bumped_key = requestKey(request);
+        EXPECT_NE(bumped_key, original_key);
+        CompileService service({.threads = 1, .cacheCapacity = 4,
+                                .cacheDir = dir.str()});
+        std::string bumped_report =
+            renderCompileReport(*service.compileNow(request));
+        // The bump shows up in the report's embedded key — and only
+        // there: everything the compiler computed is unchanged.
+        std::size_t at = bumped_report.find(bumped_key);
+        ASSERT_NE(at, std::string::npos);
+        bumped_report.replace(at, bumped_key.size(), original_key);
+        EXPECT_EQ(bumped_report, cold_report);
+        CompileServiceStats stats = service.stats();
+        EXPECT_EQ(stats.disk.hits, 0);
+        EXPECT_EQ(stats.disk.misses, 1);
+        EXPECT_EQ(stats.disk.stores, 1);
+        EXPECT_EQ(stats.disk.rejected, 0);
+    }
+    // Reverting the revision restores the original key, and the plan
+    // stored *before* the bump serves again from disk.
+    EXPECT_EQ(requestKey(request), original_key);
+    {
+        CompileService service({.threads = 1, .cacheCapacity = 4,
+                                .cacheDir = dir.str()});
+        EXPECT_EQ(renderCompileReport(*service.compileNow(request)),
+                  cold_report);
+        CompileServiceStats stats = service.stats();
+        EXPECT_EQ(stats.disk.hits, 1);
+        EXPECT_EQ(stats.disk.misses, 0);
+        EXPECT_EQ(stats.disk.stores, 0);
     }
 }
 
