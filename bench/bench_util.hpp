@@ -27,6 +27,13 @@ namespace cmswitch::bench {
 struct BenchArgs
 {
     bool full = false;
+
+    /** @{ Harness-driven drivers (fig18): JSON report destination and
+     *  sampling overrides (0 / -1 = driver default). */
+    std::string out;
+    int repeats = 0;
+    int warmups = -1;
+    /** @} */
 };
 
 inline BenchArgs
@@ -36,9 +43,21 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0)
             args.full = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            args.out = argv[++i];
+        else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+            args.repeats = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--warmups") == 0 && i + 1 < argc)
+            args.warmups = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--help") == 0) {
-            std::cout << "usage: " << argv[0] << " [--full]\n"
-                      << "  --full   run the paper's complete sweep\n";
+            std::cout
+                << "usage: " << argv[0]
+                << " [--full] [--out report.json] [--repeats N]"
+                   " [--warmups N]\n"
+                << "  --full       run the paper's complete sweep\n"
+                << "  --out PATH   write the cmswitch-bench-v1 JSON report\n"
+                << "  --repeats N  timed samples per measurement\n"
+                << "  --warmups N  untimed runs before sampling\n";
             std::exit(0);
         }
     }

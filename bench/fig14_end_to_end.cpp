@@ -70,7 +70,7 @@ benchMain(int argc, char **argv)
             double ours_vs_mlc = cycles[2] / cycles[3];
             geo_sum += std::log(ours_vs_mlc);
             ++geo_count;
-            t.addRow("b" + std::to_string(batch) + " " + entry.name,
+            t.addRow(concat("b", batch, " ", entry.name),
                      {normalized[0], normalized[1], normalized[2],
                       normalized[3], ours_vs_mlc},
                      2);

@@ -70,13 +70,13 @@ benchMain(int argc, char **argv)
                 + " — CMSwitch speedup vs CIM-MLC / memory-array ratio");
         std::vector<std::string> header = {"batch"};
         for (s64 s : seqs)
-            header.push_back("s" + std::to_string(s));
+            header.push_back(concat("s", s));
         t.addRow(header);
         for (s64 batch : batches) {
-            std::vector<std::string> row_speed = {"b" + std::to_string(batch)
-                                                  + " speedup"};
-            std::vector<std::string> row_ratio = {"b" + std::to_string(batch)
-                                                  + " mem%"};
+            std::vector<std::string> row_speed = {concat("b", batch,
+                                                         " speedup")};
+            std::vector<std::string> row_ratio = {concat("b", batch,
+                                                         " mem%")};
             for (s64 seq : seqs) {
                 Cell cell = runCell(chip, model, batch, seq, args.full);
                 row_speed.push_back(formatDouble(cell.speedupVsMlc, 2));

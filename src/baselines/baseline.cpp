@@ -5,10 +5,12 @@
 namespace cmswitch {
 
 std::unique_ptr<Compiler>
-makeCmSwitchCompiler(ChipConfig chip)
+makeCmSwitchCompiler(ChipConfig chip, bool referenceSearch)
 {
-    return std::make_unique<CmSwitchCompiler>(std::move(chip),
-                                              CmSwitchOptions{}, "cmswitch");
+    CmSwitchOptions options;
+    options.segmenter.referenceSearch = referenceSearch;
+    return std::make_unique<CmSwitchCompiler>(std::move(chip), options,
+                                              "cmswitch");
 }
 
 std::vector<std::unique_ptr<Compiler>>
@@ -23,16 +25,17 @@ makeAllCompilers(const ChipConfig &chip)
 }
 
 std::unique_ptr<Compiler>
-makeCompilerByName(const std::string &name, const ChipConfig &chip)
+makeCompilerByName(const std::string &name, const ChipConfig &chip,
+                   bool referenceSearch)
 {
     if (name == "cmswitch")
-        return makeCmSwitchCompiler(chip);
+        return makeCmSwitchCompiler(chip, referenceSearch);
     if (name == "cim-mlc")
-        return makeCimMlcCompiler(chip);
+        return makeCimMlcCompiler(chip, referenceSearch);
     if (name == "occ")
-        return makeOccCompiler(chip);
+        return makeOccCompiler(chip, referenceSearch);
     if (name == "puma")
-        return makePumaCompiler(chip);
+        return makePumaCompiler(chip, referenceSearch);
     cmswitch_fatal("unknown compiler '", name, "'");
 }
 

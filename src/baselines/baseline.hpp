@@ -25,17 +25,29 @@
 
 namespace cmswitch {
 
+/**
+ * Every factory takes an optional @p referenceSearch switch: true
+ * builds the compiler on the retained pre-optimization search stack
+ * (SegmenterOptions::referenceSearch — reference DP, exact allocator
+ * probes). The differential tests pin that both modes produce
+ * byte-identical compile results across the scenario matrix.
+ */
+
 /** PUMA-style compiler over @p chip. */
-std::unique_ptr<Compiler> makePumaCompiler(ChipConfig chip);
+std::unique_ptr<Compiler> makePumaCompiler(ChipConfig chip,
+                                           bool referenceSearch = false);
 
 /** OCC-style compiler over @p chip. */
-std::unique_ptr<Compiler> makeOccCompiler(ChipConfig chip);
+std::unique_ptr<Compiler> makeOccCompiler(ChipConfig chip,
+                                          bool referenceSearch = false);
 
 /** CIM-MLC-style compiler over @p chip (the paper's main baseline). */
-std::unique_ptr<Compiler> makeCimMlcCompiler(ChipConfig chip);
+std::unique_ptr<Compiler> makeCimMlcCompiler(ChipConfig chip,
+                                             bool referenceSearch = false);
 
 /** The full CMSwitch compiler over @p chip. */
-std::unique_ptr<Compiler> makeCmSwitchCompiler(ChipConfig chip);
+std::unique_ptr<Compiler> makeCmSwitchCompiler(ChipConfig chip,
+                                               bool referenceSearch = false);
 
 /** All four, in the paper's plotting order (Fig. 14). */
 std::vector<std::unique_ptr<Compiler>> makeAllCompilers(const ChipConfig &chip);
@@ -46,7 +58,8 @@ std::vector<std::unique_ptr<Compiler>> makeAllCompilers(const ChipConfig &chip);
  * cmswitchc and the compile service.
  */
 std::unique_ptr<Compiler> makeCompilerByName(const std::string &name,
-                                             const ChipConfig &chip);
+                                             const ChipConfig &chip,
+                                             bool referenceSearch = false);
 
 } // namespace cmswitch
 

@@ -3,9 +3,10 @@
 namespace cmswitch {
 
 std::unique_ptr<Compiler>
-makeOccCompiler(ChipConfig chip)
+makeOccCompiler(ChipConfig chip, bool referenceSearch)
 {
     CmSwitchOptions options;
+    options.segmenter.referenceSearch = referenceSearch;
     options.segmenter.useDp = false; // greedy one-pass segmentation
     options.segmenter.livenessAwareWriteback = true;
     options.segmenter.alloc.allowMemoryMode = false;

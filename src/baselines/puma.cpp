@@ -3,9 +3,10 @@
 namespace cmswitch {
 
 std::unique_ptr<Compiler>
-makePumaCompiler(ChipConfig chip)
+makePumaCompiler(ChipConfig chip, bool referenceSearch)
 {
     CmSwitchOptions options;
+    options.segmenter.referenceSearch = referenceSearch;
     options.segmenter.useDp = false; // greedy max-fill segmentation
     options.segmenter.livenessAwareWriteback = false;
     options.segmenter.alloc.allowMemoryMode = false;

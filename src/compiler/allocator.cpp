@@ -111,19 +111,16 @@ DualModeAllocator::needsForTarget(const OpWorkload &w, Cycles t,
 
 bool
 DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
-                             SegmentAllocation *out) const
+                             SegmentAllocation *out, LpWarmStart *warm) const
 {
     const s64 n_ops = static_cast<s64>(segment.ops.size());
     const s64 n_cim = cost_->chip().numSwitchArrays;
     const s64 array_bytes = cost_->chip().arrayMemoryBytes();
 
-    std::vector<OpWorkload> ws;
-    ws.reserve(static_cast<std::size_t>(n_ops));
-    for (const OpWorkload *w : segment.ops)
-        ws.push_back(*w);
-    std::vector<double> shares = options_.pipelined
-                               ? CostModel::dmainShares(ws)
-                               : std::vector<double>(ws.size(), 1.0);
+    std::vector<double> shares =
+        options_.pipelined
+            ? CostModel::dmainShares(segment.ops)
+            : std::vector<double>(segment.ops.size(), 1.0);
 
     std::vector<Needs> needs(static_cast<std::size_t>(n_ops));
     std::vector<s64> mem_in(static_cast<std::size_t>(n_ops), 0);
@@ -137,6 +134,48 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
             return false;
         total += needs[static_cast<std::size_t>(i)].computeArrays
                + needs[static_cast<std::size_t>(i)].memoryArrays;
+    }
+
+    // Boolean-only probes (the latency bisection passes out ==
+    // nullptr) only need to know whether the packed segment fits
+    // (Eq. 8); cheap reuse bounds usually decide that without the
+    // exact maximisation below. Both bounds are conservative — the
+    // greedy pool assignment is a feasible reuse (lower bound), the
+    // per-edge cap sum ignores pool sharing (upper bound) — so a probe
+    // answered here returns exactly what the exact solve would, and
+    // inconclusive probes fall through to it. Plans are untouched: the
+    // allocation-filling call always runs the exact solve.
+    if (out == nullptr && !options_.referenceSearch) {
+        if (total <= n_cim)
+            return true; // fits with zero reuse; reuse only helps
+        if (segment.edges.empty() || !options_.allowMemoryMode)
+            return false; // no reuse possible, and total > n_cim
+        s64 reuse_ub = 0;
+        for (const SegmentView::Edge &e : segment.edges) {
+            reuse_ub += std::min(
+                {ceilDiv(e.bytes, array_bytes),
+                 needs[static_cast<std::size_t>(e.from)].memoryArrays,
+                 needs[static_cast<std::size_t>(e.to)].memoryArrays});
+        }
+        if (total - reuse_ub > n_cim)
+            return false;
+        s64 reuse_lb = 0;
+        std::vector<s64> probe_pool(static_cast<std::size_t>(n_ops));
+        for (s64 i = 0; i < n_ops; ++i) {
+            probe_pool[static_cast<std::size_t>(i)] =
+                needs[static_cast<std::size_t>(i)].memoryArrays;
+        }
+        for (const SegmentView::Edge &e : segment.edges) {
+            s64 r = std::min({probe_pool[static_cast<std::size_t>(e.from)],
+                              probe_pool[static_cast<std::size_t>(e.to)],
+                              ceilDiv(e.bytes, array_bytes)});
+            reuse_lb += r;
+            probe_pool[static_cast<std::size_t>(e.from)] -= r;
+            probe_pool[static_cast<std::size_t>(e.to)] -= r;
+        }
+        if (total - reuse_lb <= n_cim)
+            return true;
+        // Inconclusive: fall through to the exact reuse solve.
     }
 
     // Maximise Eq. 6 reuse so the packed segment fits (Eq. 8). Each
@@ -195,7 +234,14 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
             for (VarId v : edge_vars)
                 objective.add(v, 1.0);
             mip.setObjective(objective, Sense::kMaximize);
-            MipResult res = solveMip(mip);
+            MipOptions mip_options;
+            // Warm pivoting only on boolean probes: the filling solve
+            // must replay the exact cold pivot path so the chosen
+            // reuse splits stay bit-identical to the reference mode.
+            mip_options.warmStart =
+                (out == nullptr && !options_.referenceSearch) ? warm
+                                                              : nullptr;
+            MipResult res = solveMip(mip, mip_options);
             cmswitch_assert(res.status == SolveStatus::kOptimal,
                             "reuse MIP must be feasible");
             reuse_total = static_cast<s64>(std::llround(res.objective));
@@ -304,11 +350,7 @@ DualModeAllocator::allocate(const SegmentView &segment) const
         return allocateSerial(segment);
 
     // Upper bound: minimal allocation (one weight copy, no memory).
-    std::vector<OpWorkload> ws;
-    ws.reserve(segment.ops.size());
-    for (const OpWorkload *w : segment.ops)
-        ws.push_back(*w);
-    std::vector<double> shares = CostModel::dmainShares(ws);
+    std::vector<double> shares = CostModel::dmainShares(segment.ops);
     Cycles ub = 0;
     for (std::size_t i = 0; i < segment.ops.size(); ++i) {
         OpAllocation minimal;
@@ -318,17 +360,20 @@ DualModeAllocator::allocate(const SegmentView &segment) const
     }
     cmswitch_assert(ub < kInfCycles, "minimal allocation must be finite");
 
+    // Every bisection probe builds the same reuse MIP with different
+    // bounds; one warm-start slot carries the basis across all of them.
+    LpWarmStart warm;
     Cycles lo = 1, hi = ub;
-    cmswitch_assert(tryTarget(segment, ub, nullptr),
+    cmswitch_assert(tryTarget(segment, ub, nullptr, &warm),
                     "upper bound must be feasible");
     while (lo < hi) {
         Cycles mid = lo + (hi - lo) / 2;
-        if (tryTarget(segment, mid, nullptr))
+        if (tryTarget(segment, mid, nullptr, &warm))
             hi = mid;
         else
             lo = mid + 1;
     }
-    bool ok = tryTarget(segment, hi, &result);
+    bool ok = tryTarget(segment, hi, &result, &warm);
     cmswitch_assert(ok, "bisection result must be feasible");
     return result;
 }
@@ -454,11 +499,7 @@ DualModeAllocator::allocateExhaustive(const SegmentView &segment) const
         return total;
     };
 
-    std::vector<OpWorkload> ws;
-    ws.reserve(segment.ops.size());
-    for (const OpWorkload *w : segment.ops)
-        ws.push_back(*w);
-    std::vector<double> shares = CostModel::dmainShares(ws);
+    std::vector<double> shares = CostModel::dmainShares(segment.ops);
 
     auto consider = [&]() {
         s64 used = 0;

@@ -24,6 +24,7 @@
 
 #include "compiler/partitioner.hpp"
 #include "cost/cost_model.hpp"
+#include "solver/simplex.hpp"
 
 namespace cmswitch {
 
@@ -53,6 +54,16 @@ struct AllocatorOptions
     bool allowMemoryMode = true;  ///< dual-mode aware (CMSwitch only)
     bool allowDuplication = true; ///< weight duplication across arrays
     bool pipelined = true;        ///< Eq. 9 max; false = serial sum
+
+    /**
+     * true: pre-optimization behaviour — every bisection probe runs
+     * the exact reuse solve (no conservative-bound shortcuts, no LP
+     * warm starts). Retained for the differential tests and the
+     * Fig. 18 reference measurements; Segmenter propagates its
+     * SegmenterOptions::referenceSearch here. Allocation-filling
+     * solves are identical in both modes by construction.
+     */
+    bool referenceSearch = false;
 };
 
 /** Result of allocating one segment. */
@@ -100,9 +111,12 @@ class DualModeAllocator
     Needs needsForTarget(const OpWorkload &w, Cycles t,
                         double dmain_share) const;
 
-    /** Check whether target @p t fits the chip; fills the allocation. */
+    /** Check whether target @p t fits the chip; fills the allocation.
+     *  @p warm carries the reuse MIP's pivoting state across the
+     *  bisection's probes (stack-owned by allocate(), so the allocator
+     *  itself stays stateless and thread-safe). */
     bool tryTarget(const SegmentView &segment, Cycles t,
-                   SegmentAllocation *out) const;
+                   SegmentAllocation *out, LpWarmStart *warm) const;
 
     /** Serial-schedule greedy refinement (PUMA-style compilers). */
     SegmentAllocation allocateSerial(const SegmentView &segment) const;

@@ -1,7 +1,10 @@
 #include "compiler/segmenter.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <charconv>
+#include <limits>
+#include <map>
+#include <utility>
 
 #include "support/logging.hpp"
 #include "support/strings.hpp"
@@ -13,60 +16,132 @@ namespace {
 /** Hard cap on ops per segment, a safety net for the DP width. */
 constexpr s64 kMaxSegmentOps = 64;
 
-/** Signature of a segment's workloads + intra edges for the cache. */
-std::string
-segmentSignature(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi)
+void
+appendInt(std::string &out, s64 value)
 {
-    std::ostringstream oss;
-    for (s64 i = lo; i < hi; ++i) {
-        const OpWorkload &w = ops[static_cast<std::size_t>(i)].work;
-        oss << w.weightTiles << ':' << w.macs << ':' << w.weightBytes << ':'
-            << w.inputBytes << ':' << w.outputBytes << ':' << w.vectorElems
-            << ':' << w.movingRows << ':' << (w.dynamicWeights ? 1 : 0) << ':'
-            << formatDouble(w.utilization, 5) << ';';
-        for (std::size_t e = 0;
-             e < ops[static_cast<std::size_t>(i)].preds.size(); ++e) {
-            s64 p = ops[static_cast<std::size_t>(i)].preds[e];
-            if (p >= lo && p < hi) {
-                oss << (p - lo) << '>' << (i - lo) << '='
-                    << ops[static_cast<std::size_t>(i)].reuseBytes[e] << ',';
-            }
-        }
-        oss << '|';
-    }
-    return oss.str();
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, res.ptr);
+}
+
+/** Signature fragment of one op's workload (edges are appended per
+ *  range, with range-relative indices). */
+std::string
+opSignature(const OpWorkload &w)
+{
+    std::string out;
+    out.reserve(64);
+    appendInt(out, w.weightTiles);
+    out.push_back(':');
+    appendInt(out, w.macs);
+    out.push_back(':');
+    appendInt(out, w.weightBytes);
+    out.push_back(':');
+    appendInt(out, w.inputBytes);
+    out.push_back(':');
+    appendInt(out, w.outputBytes);
+    out.push_back(':');
+    appendInt(out, w.vectorElems);
+    out.push_back(':');
+    appendInt(out, w.movingRows);
+    out.push_back(':');
+    out.push_back(w.dynamicWeights ? '1' : '0');
+    out.push_back(':');
+    out += formatDouble(w.utilization, 5);
+    out.push_back(';');
+    return out;
+}
+
+} // namespace
+
+namespace {
+
+/** referenceSearch covers the whole search stack: the DP *and* the
+ *  allocator's probe shortcuts revert together. */
+AllocatorOptions
+allocatorOptionsFor(const SegmenterOptions &options)
+{
+    AllocatorOptions alloc = options.alloc;
+    alloc.referenceSearch = alloc.referenceSearch || options.referenceSearch;
+    return alloc;
 }
 
 } // namespace
 
 Segmenter::Segmenter(const CostModel &cost, SegmenterOptions options)
-    : cost_(&cost), options_(options), allocator_(cost, options.alloc)
+    : cost_(&cost), options_(options),
+      allocator_(cost, allocatorOptionsFor(options))
 {
+}
+
+const SegmentAllocation &
+Segmenter::allocateCachedRef(const std::vector<ScheduledOp> &ops, s64 lo,
+                             s64 hi)
+{
+    // Fast path: this exact range was priced before in this run.
+    s64 range_key = lo * (static_cast<s64>(ops.size()) + 1) + hi;
+    if (const SegmentAllocation **found = rangeCache_.find(range_key)) {
+        ++cacheHits_;
+        return **found;
+    }
+
+    // Signature of the segment's workloads + intra edges: memoised
+    // per-op fragments plus range-relative dependency edges.
+    std::string key;
+    key.reserve(static_cast<std::size_t>(hi - lo) * 72);
+    for (s64 i = lo; i < hi; ++i) {
+        const ScheduledOp &op = ops[static_cast<std::size_t>(i)];
+        key += opSig_[static_cast<std::size_t>(i)];
+        for (std::size_t e = 0; e < op.preds.size(); ++e) {
+            s64 p = op.preds[e];
+            if (p >= lo && p < hi) {
+                appendInt(key, p - lo);
+                key.push_back('>');
+                appendInt(key, i - lo);
+                key.push_back('=');
+                appendInt(key, op.reuseBytes[e]);
+                key.push_back(',');
+            }
+        }
+        key.push_back('|');
+    }
+
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+    } else {
+        ++cacheMisses_;
+        it = cache_
+                 .emplace(std::move(key),
+                          allocator_.allocate(makeSegmentView(ops, lo, hi)))
+                 .first;
+    }
+    rangeCache_.insert(range_key, &it->second);
+    return it->second;
 }
 
 SegmentAllocation
 Segmenter::allocateCached(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi)
 {
-    // Fast path: this exact range was priced before in this run.
-    s64 range_key = lo * (static_cast<s64>(ops.size()) + 1) + hi;
-    auto rit = rangeCache_.find(range_key);
-    if (rit != rangeCache_.end()) {
-        ++cacheHits_;
-        return rit->second;
-    }
+    return allocateCachedRef(ops, lo, hi);
+}
 
-    std::string key = segmentSignature(ops, lo, hi);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cacheHits_;
-        rangeCache_.emplace(range_key, it->second);
-        return it->second;
+const SegmentAllocation &
+Segmenter::allocationForRange(const std::vector<ScheduledOp> &ops, s64 lo,
+                              s64 hi)
+{
+    if (cachedOps_ != ops.data() || opSig_.size() != ops.size()) {
+        // Probed before (or with a different list than) the last run():
+        // the range cache is positional, so rebuild the per-run
+        // structures for this list instead of serving stale entries.
+        rangeCache_.clear();
+        opSig_.clear();
+        opSig_.reserve(ops.size());
+        for (const ScheduledOp &op : ops)
+            opSig_.push_back(opSignature(op.work));
+        cachedOps_ = ops.data();
     }
-    ++cacheMisses_;
-    SegmentAllocation alloc = allocator_.allocate(makeSegmentView(ops, lo, hi));
-    cache_.emplace(std::move(key), alloc);
-    rangeCache_.emplace(range_key, alloc);
-    return alloc;
+    return allocateCachedRef(ops, lo, hi);
 }
 
 s64
@@ -161,8 +236,11 @@ Segmenter::run(const std::vector<ScheduledOp> &ops)
 {
     if (ops.empty())
         return ScheduleResult{};
+    cmswitch_assert(static_cast<s64>(ops.size()) <= kMaxOps,
+                    "flattened network too large for range-key packing");
 
     rangeCache_.clear();
+    cachedOps_ = ops.data();
     lastConsumer_.assign(ops.size(), -1);
     maxEdgeBytes_.assign(ops.size(), 0);
     for (std::size_t c = 0; c < ops.size(); ++c) {
@@ -174,7 +252,17 @@ Segmenter::run(const std::vector<ScheduledOp> &ops)
                                         ops[c].reuseBytes[e]);
         }
     }
-    return options_.useDp ? runDp(ops) : runGreedy(ops);
+    prefixOutput_.assign(ops.size() + 1, 0);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        prefixOutput_[i + 1] = prefixOutput_[i] + ops[i].work.outputBytes;
+    opSig_.clear();
+    opSig_.reserve(ops.size());
+    for (const ScheduledOp &op : ops)
+        opSig_.push_back(opSignature(op.work));
+
+    if (!options_.useDp)
+        return runGreedy(ops);
+    return options_.referenceSearch ? runDpReference(ops) : runDp(ops);
 }
 
 ScheduleResult
@@ -189,7 +277,7 @@ Segmenter::runGreedy(const std::vector<ScheduledOp> &ops)
     // the one-pass scheduling the fixed-mode baseline stacks perform;
     // only the DP (Alg. 1) explores alternative cut points globally.
     auto segment_cost = [&](s64 lo, s64 hi) -> Cycles {
-        SegmentAllocation a = allocateCached(ops, lo, hi);
+        const SegmentAllocation &a = allocateCachedRef(ops, lo, hi);
         if (!a.feasible())
             return kInfCycles;
         std::vector<OpWorkload> ws;
@@ -232,29 +320,202 @@ Segmenter::runGreedy(const std::vector<ScheduledOp> &ops)
     return finalize(ops, std::move(ranges));
 }
 
-ScheduleResult
-Segmenter::runDp(const std::vector<ScheduledOp> &ops)
+std::vector<s64>
+Segmenter::minStarts(const std::vector<ScheduledOp> &ops) const
 {
     const s64 n = static_cast<s64>(ops.size());
     const s64 n_cim = cost_->chip().numSwitchArrays;
 
     // Feasible segment starts for each boundary i: [minStart[i], i).
     std::vector<s64> min_start(static_cast<std::size_t>(n) + 1, 0);
+    s64 tiles = 0;
+    s64 k = 0;
+    for (s64 i = 0; i < n; ++i) {
+        tiles += ops[static_cast<std::size_t>(i)].work.weightTiles;
+        while (tiles > n_cim || i - k + 1 > kMaxSegmentOps) {
+            tiles -= ops[static_cast<std::size_t>(k)].work.weightTiles;
+            ++k;
+        }
+        cmswitch_assert(k <= i, "operator ",
+                        ops[static_cast<std::size_t>(i)].work.name,
+                        " does not fit the chip even alone");
+        min_start[static_cast<std::size_t>(i) + 1] = k;
+    }
+    return min_start;
+}
+
+ScheduleResult
+Segmenter::runDp(const std::vector<ScheduledOp> &ops)
+{
+    const s64 n = static_cast<s64>(ops.size());
+    const s64 n_cim = cost_->chip().numSwitchArrays;
+    const ChipConfig &chip = cost_->chip();
+    const Deha &deha = cost_->deha();
+    const s64 array_bytes = chip.arrayMemoryBytes();
+    const bool liveness = options_.livenessAwareWriteback;
+    const bool memory_mode = options_.alloc.allowMemoryMode;
+
+    std::vector<s64> min_start = minStarts(ops);
+
+    // One DP state per (boundary i, segment start k): best prefix cost
+    // plus everything a *successor* transition needs from this state —
+    // the memory-array count of [k, i) (physical-mode handover) and its
+    // live-out bytes at boundary i (write-back pricing). Carrying these
+    // in the state is what lets the inner scan below run without
+    // touching segment allocations at all. States are appended in k
+    // order, preserving the reference search's ascending-key iteration
+    // (and therefore its exact tie-breaking).
+    struct FastState
     {
-        s64 tiles = 0;
-        s64 k = 0;
-        for (s64 i = 0; i < n; ++i) {
-            tiles += ops[static_cast<std::size_t>(i)].work.weightTiles;
-            while (tiles > n_cim || i - k + 1 > kMaxSegmentOps) {
-                tiles -= ops[static_cast<std::size_t>(k)].work.weightTiles;
-                ++k;
+        s64 start = 0;
+        Cycles cost = kInfCycles;
+        s64 prevStart = -1;
+        s64 memArrays = 0; ///< memory arrays of segment [start, boundary)
+        s64 outBytes = 0;  ///< liveOutBytes(start, boundary, boundary)
+    };
+    std::vector<std::vector<FastState>> dp(static_cast<std::size_t>(n) + 1);
+
+    // Scratch reused across candidate segments.
+    std::vector<const OpWorkload *> ws_view;
+    std::vector<std::pair<s64, s64>> crossing; // (producer, bytes), sorted
+    std::vector<s64> crossing_suffix;          // suffix byte sums
+
+    for (s64 i = 1; i <= n; ++i) {
+        for (s64 k = min_start[static_cast<std::size_t>(i)]; k < i; ++k) {
+            const SegmentAllocation &cur = allocateCachedRef(ops, k, i);
+            if (!cur.feasible())
+                continue;
+
+            // Hoisted predecessor-invariants of segment [k, i): Eq. 2
+            // rewrite, inbound bytes, allocation aggregates. The
+            // reference search recomputes each of these per
+            // predecessor state.
+            ws_view.clear();
+            for (s64 t = k; t < i; ++t)
+                ws_view.push_back(&ops[static_cast<std::size_t>(t)].work);
+            const Cycles rewrite =
+                cost_->weightRewriteLatency(ws_view, cur.allocs);
+            const s64 inbound = inboundBytes(ops, k, i);
+            const s64 cur_mem = cur.plan.memoryArrays;
+            const Cycles intra = cur.intraLatency;
+
+            Cycles best_cost = kInfCycles;
+            s64 best_prev = -1;
+            if (k == 0) {
+                // First segment: switches from the all-compute boot
+                // state, initial weight load, no predecessor data.
+                SwitchDelta delta = deha.switchesBetween(n_cim, cur.plan);
+                best_cost = intra + deha.switchLatency(delta) + rewrite
+                          + cost_->mainMemoryTransfer(
+                                std::max<s64>(0, inbound));
+                best_prev = -1;
+            } else if (!dp[static_cast<std::size_t>(k)].empty()) {
+                // Dependency edges crossing into [k, i) from before k,
+                // sorted by producer with suffix byte sums: the bytes a
+                // predecessor segment [j, k) hands over directly is the
+                // suffix at its start j — an O(log E) probe instead of
+                // the reference's full range walk per predecessor.
+                crossing.clear();
+                for (s64 t = k; t < i; ++t) {
+                    const ScheduledOp &op = ops[static_cast<std::size_t>(t)];
+                    for (std::size_t e = 0; e < op.preds.size(); ++e) {
+                        if (op.preds[e] < k)
+                            crossing.emplace_back(op.preds[e],
+                                                  op.reuseBytes[e]);
+                    }
+                }
+                std::sort(crossing.begin(), crossing.end());
+                crossing_suffix.assign(crossing.size() + 1, 0);
+                for (std::size_t c = crossing.size(); c-- > 0;)
+                    crossing_suffix[c] =
+                        crossing_suffix[c + 1] + crossing[c].second;
+
+                for (const FastState &st : dp[static_cast<std::size_t>(k)]) {
+                    auto from = std::lower_bound(
+                        crossing.begin(), crossing.end(),
+                        std::make_pair(st.start,
+                                       std::numeric_limits<s64>::min()));
+                    s64 direct = crossing_suffix[static_cast<std::size_t>(
+                        from - crossing.begin())];
+                    s64 carry_cap = chip.bufferBytes;
+                    if (memory_mode) {
+                        carry_cap += std::min(st.memArrays, cur_mem)
+                                   * array_bytes;
+                    }
+                    s64 carried = liveness ? std::min(direct, carry_cap) : 0;
+                    s64 store = liveness
+                                  ? st.outBytes - carried
+                                  : prefixOutput_[static_cast<std::size_t>(k)]
+                                        - prefixOutput_[
+                                            static_cast<std::size_t>(
+                                                st.start)];
+                    store = std::max<s64>(0, store);
+                    s64 load = std::max<s64>(0, inbound - carried);
+
+                    // Approximate physical state entering the segment:
+                    // everything not used as memory by the previous
+                    // segment is (or can be) in compute mode.
+                    SwitchDelta delta = deha.switchesBetween(
+                        n_cim - st.memArrays, cur.plan);
+                    Cycles cost = st.cost + intra
+                                + cost_->mainMemoryTransfer(store)
+                                + cost_->mainMemoryTransfer(load)
+                                + deha.switchLatency(delta) + rewrite;
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_prev = st.start;
+                    }
+                }
             }
-            cmswitch_assert(k <= i, "operator ",
-                            ops[static_cast<std::size_t>(i)].work.name,
-                            " does not fit the chip even alone");
-            min_start[static_cast<std::size_t>(i) + 1] = k;
+            if (best_cost < kInfCycles) {
+                dp[static_cast<std::size_t>(i)].push_back(
+                    FastState{k, best_cost, best_prev, cur_mem,
+                              liveOutBytes(ops, k, i, i)});
+            }
         }
     }
+
+    // Pick the best terminal state and backtrack the segmentation.
+    cmswitch_assert(!dp[static_cast<std::size_t>(n)].empty(),
+                    "network has no feasible segmentation");
+    s64 best_k = -1;
+    Cycles best_cost = kInfCycles;
+    for (const FastState &st : dp[static_cast<std::size_t>(n)]) {
+        if (st.cost < best_cost) {
+            best_cost = st.cost;
+            best_k = st.start;
+        }
+    }
+    std::vector<std::pair<s64, s64>> ranges;
+    s64 i = n;
+    s64 k = best_k;
+    while (k >= 0) {
+        ranges.emplace_back(k, i);
+        const auto &states = dp[static_cast<std::size_t>(i)];
+        auto it = std::lower_bound(
+            states.begin(), states.end(), k,
+            [](const FastState &st, s64 start) { return st.start < start; });
+        cmswitch_assert(it != states.end() && it->start == k,
+                        "DP backlink missing");
+        i = k;
+        k = it->prevStart;
+    }
+    std::reverse(ranges.begin(), ranges.end());
+    return finalize(ops, std::move(ranges));
+}
+
+ScheduleResult
+Segmenter::runDpReference(const std::vector<ScheduledOp> &ops)
+{
+    // The pre-optimization Alg. 1 search, kept verbatim: every
+    // (predecessor, segment) pair re-walks its aggregates and re-prices
+    // the Eq. 2 rewrite through interCost(). The differential tests
+    // assert byte-identical plans against runDp(); do not "fix" or
+    // optimise this path — its whole value is being the original.
+    const s64 n = static_cast<s64>(ops.size());
+    const s64 n_cim = cost_->chip().numSwitchArrays;
+
+    std::vector<s64> min_start = minStarts(ops);
 
     // dp[i] = states for boundary i, keyed by the start of the segment
     // that ends at i. Value: best prefix cost + backlink (start of the

@@ -10,17 +10,35 @@
  * which bounds the DP width; repeated segment shapes (transformer
  * blocks) hit a signature cache so each block is optimised once
  * (paper Sec. 5.6).
+ *
+ * Two interchangeable DP search implementations exist:
+ *
+ *  - runDp() — the production path. Per candidate segment [k, i) it
+ *    hoists everything j-invariant (the Eq. 2 rewrite, inbound bytes,
+ *    the allocation lookup) out of the predecessor-state scan, carries
+ *    each state's write-back aggregates (live-out bytes, memory-array
+ *    count) inside the state instead of re-deriving them from segment
+ *    allocations, answers boundary-crossing reuse queries from sorted
+ *    prefix/suffix byte sums, and keys the per-run range cache with a
+ *    flat hash map instead of a red-black tree.
+ *  - runDpReference() — the pre-optimization search, kept verbatim
+ *    behind SegmenterOptions::referenceSearch. It recomputes every
+ *    aggregate per (predecessor, segment) pair. The differential tests
+ *    (tests/segmenter_diff_test.cpp, fuzz_test) pin that both searches
+ *    produce byte-identical compile results across the full scenario
+ *    matrix, which is what licenses every shortcut the fast path takes.
  */
 
 #ifndef CMSWITCH_COMPILER_SEGMENTER_HPP
 #define CMSWITCH_COMPILER_SEGMENTER_HPP
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "compiler/allocator.hpp"
 #include "compiler/compiler_api.hpp"
+#include "support/flat_map.hpp"
 
 namespace cmswitch {
 
@@ -35,6 +53,14 @@ struct SegmenterOptions
     /** true: only live-out data is written back between segments;
      *  false: every segment output spills (naive baselines). */
     bool livenessAwareWriteback = true;
+
+    /**
+     * true: run the retained pre-optimization DP instead of the fast
+     * search. Exists solely so the differential tests (and the Fig. 18
+     * bench) can pin/measure the fast path against the original; both
+     * must produce byte-identical plans.
+     */
+    bool referenceSearch = false;
 };
 
 /** One chosen segment with its allocation and entry overheads. */
@@ -86,7 +112,32 @@ class Segmenter
     s64 cacheHits() const { return cacheHits_; }
     s64 cacheMisses() const { return cacheMisses_; }
 
+    /**
+     * The cached allocation for segment [lo, hi), computing (and
+     * memoising) it on first touch — the same lookup every search path
+     * performs. Public so the property tests can pin cache-hit results
+     * against freshly recomputed allocations. Only valid for the ops
+     * list of the current/most recent run() (the range cache is keyed
+     * by position).
+     */
+    const SegmentAllocation &
+    allocationForRange(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi);
+
+    /**
+     * Largest supported flattened-network size: the per-run range cache
+     * packs (lo, hi) as lo * (n + 1) + hi, which is collision-free and
+     * overflow-free while (n + 1)^2 - 1 <= 2^63 - 1, i.e.
+     * n + 1 <= floor(sqrt(2^63)) = 3037000499 (pinned by the
+     * key-packing property test).
+     */
+    static constexpr s64 kMaxOps = 3037000498;
+
   private:
+    /** @copydoc allocationForRange (internal reference-returning form) */
+    const SegmentAllocation &
+    allocateCachedRef(const std::vector<ScheduledOp> &ops, s64 lo, s64 hi);
+
+    /** Value-returning wrapper kept for the reference/greedy paths. */
     SegmentAllocation allocateCached(const std::vector<ScheduledOp> &ops,
                                      s64 lo, s64 hi);
 
@@ -105,7 +156,11 @@ class Segmenter
                    const SegmentAllocation &cur, s64 phys_compute,
                    SegmentDecision *decision) const;
 
+    /** Feasible segment starts per boundary: [minStart[i], i). */
+    std::vector<s64> minStarts(const std::vector<ScheduledOp> &ops) const;
+
     ScheduleResult runDp(const std::vector<ScheduledOp> &ops);
+    ScheduleResult runDpReference(const std::vector<ScheduledOp> &ops);
     ScheduleResult runGreedy(const std::vector<ScheduledOp> &ops);
 
     /** Fill latency totals + physical mode tracking over the chosen
@@ -117,14 +172,22 @@ class Segmenter
     SegmenterOptions options_;
     DualModeAllocator allocator_;
 
-    std::map<std::string, SegmentAllocation> cache_;
+    /** Cross-run signature cache: segment shape -> allocation. Node
+     *  stability matters — the range cache stores pointers into it. */
+    std::unordered_map<std::string, SegmentAllocation> cache_;
     s64 cacheHits_ = 0;
     s64 cacheMisses_ = 0;
 
     /** @{ Per-run acceleration structures (rebuilt by run()). */
-    std::map<s64, SegmentAllocation> rangeCache_; ///< key lo * (n+1) + hi
-    std::vector<s64> lastConsumer_; ///< per op: max consumer index or -1
-    std::vector<s64> maxEdgeBytes_; ///< per op: widest outgoing edge
+    /** key lo * (n+1) + hi -> allocation in cache_ */
+    FlatRangeMap<const SegmentAllocation *> rangeCache_;
+    std::vector<s64> lastConsumer_;  ///< per op: max consumer index or -1
+    std::vector<s64> maxEdgeBytes_;  ///< per op: widest outgoing edge
+    std::vector<s64> prefixOutput_;  ///< prefix sums of work.outputBytes
+    std::vector<std::string> opSig_; ///< per-op signature fragment
+    /** Identity of the ops list the positional caches were built for
+     *  (allocationForRange rebuilds on mismatch). */
+    const ScheduledOp *cachedOps_ = nullptr;
     /** @} */
 };
 

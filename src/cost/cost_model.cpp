@@ -190,14 +190,24 @@ CostModel::opLatency(const OpWorkload &w, const OpAllocation &a,
 std::vector<double>
 CostModel::dmainShares(const std::vector<OpWorkload> &ws)
 {
-    double total = 0.0;
+    std::vector<const OpWorkload *> view;
+    view.reserve(ws.size());
     for (const OpWorkload &w : ws)
-        total += static_cast<double>(w.trafficBytes());
+        view.push_back(&w);
+    return dmainShares(view);
+}
+
+std::vector<double>
+CostModel::dmainShares(const std::vector<const OpWorkload *> &ws)
+{
+    double total = 0.0;
+    for (const OpWorkload *w : ws)
+        total += static_cast<double>(w->trafficBytes());
     std::vector<double> shares(ws.size(), 1.0);
     if (total <= 0.0 || ws.size() <= 1)
         return shares;
     for (std::size_t i = 0; i < ws.size(); ++i)
-        shares[i] = static_cast<double>(ws[i].trafficBytes()) / total;
+        shares[i] = static_cast<double>(ws[i]->trafficBytes()) / total;
     return shares;
 }
 
@@ -205,11 +215,22 @@ Cycles
 CostModel::segmentLatency(const std::vector<OpWorkload> &ws,
                           const std::vector<OpAllocation> &as) const
 {
+    std::vector<const OpWorkload *> view;
+    view.reserve(ws.size());
+    for (const OpWorkload &w : ws)
+        view.push_back(&w);
+    return segmentLatency(view, as);
+}
+
+Cycles
+CostModel::segmentLatency(const std::vector<const OpWorkload *> &ws,
+                          const std::vector<OpAllocation> &as) const
+{
     cmswitch_assert(ws.size() == as.size(), "workload/allocation mismatch");
     std::vector<double> shares = dmainShares(ws);
     Cycles worst = 0;
     for (std::size_t i = 0; i < ws.size(); ++i) {
-        Cycles l = opLatency(ws[i], as[i], shares[i]);
+        Cycles l = opLatency(*ws[i], as[i], shares[i]);
         if (l >= kInfCycles)
             return kInfCycles;
         worst = std::max(worst, l);
@@ -221,6 +242,17 @@ Cycles
 CostModel::weightRewriteLatency(const std::vector<OpWorkload> &ws,
                                 const std::vector<OpAllocation> &as) const
 {
+    std::vector<const OpWorkload *> view;
+    view.reserve(ws.size());
+    for (const OpWorkload &w : ws)
+        view.push_back(&w);
+    return weightRewriteLatency(view, as);
+}
+
+Cycles
+CostModel::weightRewriteLatency(const std::vector<const OpWorkload *> &ws,
+                                const std::vector<OpAllocation> &as) const
+{
     cmswitch_assert(ws.size() == as.size(), "workload/allocation mismatch");
     // Eq. 2: one operator's arrays are programmed serially while
     // different operators' arrays fill in parallel, so the segment pays
@@ -230,9 +262,9 @@ CostModel::weightRewriteLatency(const std::vector<OpWorkload> &ws,
     // from main memory overlaps array programming.)
     std::map<OpId, s64> group_arrays;
     for (std::size_t i = 0; i < ws.size(); ++i) {
-        if (ws[i].dynamicWeights)
+        if (ws[i]->dynamicWeights)
             continue; // written during execution, priced in opLatency
-        group_arrays[ws[i].opId] += as[i].computeArrays;
+        group_arrays[ws[i]->opId] += as[i].computeArrays;
     }
     Cycles eq2 = 0;
     for (const auto &[op, arrays] : group_arrays)

@@ -132,6 +132,22 @@ class CostModel
     Cycles weightRewriteLatency(const std::vector<OpWorkload> &ws,
                                 const std::vector<OpAllocation> &as) const;
 
+    /**
+     * @{ Pointer-view overloads for the optimizer hot paths
+     * (SegmentView / ScheduledOp ranges already own the workloads):
+     * bit-identical arithmetic to the owning-vector forms, with no
+     * OpWorkload copies. The owning forms delegate here.
+     */
+    static std::vector<double>
+    dmainShares(const std::vector<const OpWorkload *> &ws);
+
+    Cycles segmentLatency(const std::vector<const OpWorkload *> &ws,
+                          const std::vector<OpAllocation> &as) const;
+
+    Cycles weightRewriteLatency(const std::vector<const OpWorkload *> &ws,
+                                const std::vector<OpAllocation> &as) const;
+    /** @} */
+
     /** Cycles to move @p bytes across the main-memory link. */
     Cycles mainMemoryTransfer(s64 bytes) const;
 

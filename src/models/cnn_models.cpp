@@ -8,6 +8,7 @@
 #include "models/model_zoo.hpp"
 
 #include "support/logging.hpp"
+#include "support/strings.hpp"
 
 namespace cmswitch {
 
@@ -248,8 +249,7 @@ buildResNet18(s64 batch)
     for (int stage = 0; stage < 4; ++stage) {
         for (int block = 0; block < 2; ++block) {
             s64 stride = (stage > 0 && block == 0) ? 2 : 1;
-            basicBlock(b, "s" + std::to_string(stage + 1) + ".b"
-                             + std::to_string(block + 1),
+            basicBlock(b, concat("s", stage + 1, ".b", block + 1),
                        stage_c[stage], stride);
         }
     }
@@ -271,8 +271,7 @@ buildResNet50(s64 batch)
     for (int stage = 0; stage < 4; ++stage) {
         for (int block = 0; block < stage_n[stage]; ++block) {
             s64 stride = (stage > 0 && block == 0) ? 2 : 1;
-            bottleneckBlock(b, "s" + std::to_string(stage + 1) + ".b"
-                                  + std::to_string(block + 1),
+            bottleneckBlock(b, concat("s", stage + 1, ".b", block + 1),
                             stage_c[stage], stride);
         }
     }

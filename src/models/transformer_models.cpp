@@ -10,6 +10,7 @@
 #include "models/model_zoo.hpp"
 
 #include "support/logging.hpp"
+#include "support/strings.hpp"
 
 namespace cmswitch {
 
@@ -105,7 +106,7 @@ struct TfBuilder
         const s64 d = cfg.dModel;
         const s64 h = cfg.heads;
         const s64 dk = cfg.headDim();
-        const std::string p = "l" + std::to_string(index) + ".";
+        const std::string p = concat("l", index, ".");
 
         TensorId ln1 = fuUnary(p + "ln1", OpKind::kLayerNorm, x,
                                Shape{rows(), d});

@@ -24,16 +24,6 @@ struct NodeOrder
     }
 };
 
-/** Apply a node's tightened bounds to a scratch copy of the model. */
-void
-applyBounds(LinearModel &model, const Node &node)
-{
-    for (const auto &[var, bounds] : node.tightened) {
-        model.var(var).lower = std::max(model.var(var).lower, bounds.first);
-        model.var(var).upper = std::min(model.var(var).upper, bounds.second);
-    }
-}
-
 /** Index of the most fractional integer variable, or -1 if integral. */
 VarId
 pickBranchVar(const LinearModel &model, const std::vector<double> &values,
@@ -64,8 +54,16 @@ solveMip(const LinearModel &model, const MipOptions &options)
     MipResult result;
     result.status = SolveStatus::kInfeasible;
 
+    // Every node relaxation differs from its neighbours only in
+    // variable bounds, so when the caller opts in (provides a slot),
+    // one warm-start basis is threaded through the whole tree and
+    // across calls. Without a slot every LP pivots cold — callers that
+    // need the historical pivot path bit-for-bit (the allocator's
+    // allocation-filling solves) rely on that.
+    LpWarmStart *warm = options.warmStart;
+
     // Root relaxation.
-    LpSolution root = solveLp(model);
+    LpSolution root = solveLp(model, warm);
     ++result.nodesExplored;
     if (root.status == SolveStatus::kInfeasible
         || root.status == SolveStatus::kLimit) {
@@ -82,15 +80,34 @@ solveMip(const LinearModel &model, const MipOptions &options)
     bool have_incumbent = false;
     double incumbent_obj = 0.0; // in minimisation direction
 
+    // One scratch model reused across nodes: a node's bound overrides
+    // are applied before its relaxation and rolled back afterwards,
+    // instead of deep-copying the model (variable names, constraint
+    // term lists) once per node.
+    LinearModel scratch = model;
+    std::vector<std::pair<VarId, std::pair<double, double>>> saved_bounds;
+
     while (!open.empty() && result.nodesExplored < options.maxNodes) {
         Node node = open.top();
         open.pop();
         if (have_incumbent && node.bound >= incumbent_obj - options.gapAbs)
             continue; // bound-pruned
 
-        LinearModel scratch = model;
-        applyBounds(scratch, node);
-        LpSolution lp = solveLp(scratch);
+        saved_bounds.clear();
+        for (const auto &[var, bounds] : node.tightened) {
+            VarDef &def = scratch.var(var);
+            saved_bounds.push_back({var, {def.lower, def.upper}});
+            def.lower = std::max(def.lower, bounds.first);
+            def.upper = std::min(def.upper, bounds.second);
+        }
+        LpSolution lp = solveLp(scratch, warm);
+        // Roll back in reverse so repeated overrides of one variable
+        // restore its original bounds exactly.
+        for (std::size_t b = saved_bounds.size(); b-- > 0;) {
+            VarDef &def = scratch.var(saved_bounds[b].first);
+            def.lower = saved_bounds[b].second.first;
+            def.upper = saved_bounds[b].second.second;
+        }
         ++result.nodesExplored;
         if (lp.status != SolveStatus::kOptimal)
             continue; // infeasible subtree

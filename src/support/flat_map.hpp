@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Open-addressing hash map from non-negative s64 keys to values, built
+ * for the segmenter's per-run range caches: the dynamic programming
+ * probes the same packed (lo, hi) range keys millions of times per
+ * compile, and a `std::map` pays a pointer chase per tree level on
+ * every probe. This map keeps keys in one flat power-of-two slot array
+ * (linear probing) and values in a deque, so lookups touch one cache
+ * line in the common case and references handed out stay valid across
+ * later insertions.
+ *
+ * Deliberately minimal: no erase (the caches are cleared wholesale per
+ * run), keys must be >= 0 (negative keys are reserved as empty-slot
+ * sentinels), and insertion of a duplicate key is a programming error
+ * checked in debug builds.
+ */
+
+#ifndef CMSWITCH_SUPPORT_FLAT_MAP_HPP
+#define CMSWITCH_SUPPORT_FLAT_MAP_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** Finalizer of splitmix64: a fast, well-mixing s64 -> u64 hash. */
+constexpr u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+template <typename Value>
+class FlatRangeMap
+{
+  public:
+    FlatRangeMap() = default;
+
+    /** Pointer to the value stored under @p key, or nullptr. Stable
+     *  across later insert() calls. */
+    Value *
+    find(s64 key)
+    {
+        if (slots_.empty())
+            return nullptr;
+        std::size_t mask = slots_.size() - 1;
+        std::size_t pos = static_cast<std::size_t>(
+                              mix64(static_cast<u64>(key)))
+                        & mask;
+        while (slots_[pos].key != kEmpty) {
+            if (slots_[pos].key == key)
+                return &values_[slots_[pos].index];
+            pos = (pos + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    const Value *
+    find(s64 key) const
+    {
+        return const_cast<FlatRangeMap *>(this)->find(key);
+    }
+
+    /**
+     * Store @p value under @p key (which must be >= 0 and absent) and
+     * return a reference that stays valid until clear().
+     */
+    Value &
+    insert(s64 key, Value value)
+    {
+        assert(key >= 0 && "FlatRangeMap keys must be non-negative");
+        if ((values_.size() + 1) * 4 > slots_.size() * 3)
+            grow();
+        values_.push_back(std::move(value));
+        place(key, values_.size() - 1);
+        return values_.back();
+    }
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        values_.clear();
+    }
+
+  private:
+    static constexpr s64 kEmpty = -1;
+
+    struct Slot
+    {
+        s64 key = kEmpty;
+        std::size_t index = 0;
+    };
+
+    void
+    place(s64 key, std::size_t index)
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t pos = static_cast<std::size_t>(
+                              mix64(static_cast<u64>(key)))
+                        & mask;
+        while (slots_[pos].key != kEmpty) {
+            assert(slots_[pos].key != key
+                   && "duplicate FlatRangeMap insert");
+            pos = (pos + 1) & mask;
+        }
+        slots_[pos].key = key;
+        slots_[pos].index = index;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+        for (const Slot &slot : old) {
+            if (slot.key != kEmpty)
+                place(slot.key, slot.index);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    /** Deque: push_back never moves existing values, so find()/insert()
+     *  results survive arbitrary later insertions. */
+    std::deque<Value> values_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_FLAT_MAP_HPP

@@ -8,9 +8,44 @@
 
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace cmswitch {
+
+namespace detail {
+
+inline void
+appendPart(std::string &out, std::string_view part)
+{
+    out.append(part);
+}
+
+template <typename Number,
+          typename = std::enable_if_t<std::is_arithmetic_v<Number>>>
+inline void
+appendPart(std::string &out, Number part)
+{
+    out.append(std::to_string(part));
+}
+
+} // namespace detail
+
+/**
+ * Concatenate strings, string views, literals and numbers into one
+ * std::string via append() only. Use this instead of chained
+ * `operator+` where a `const char * + std::string&&` chain would form:
+ * GCC 12's optimizer emits false-positive -Wrestrict warnings for that
+ * pattern at -O3 (PR105651), and the repo builds with -Werror.
+ */
+template <typename... Parts>
+inline std::string
+concat(Parts &&...parts)
+{
+    std::string out;
+    (detail::appendPart(out, parts), ...);
+    return out;
+}
 
 /** Split @p text on @p sep; empty fields are kept. */
 std::vector<std::string> split(std::string_view text, char sep);

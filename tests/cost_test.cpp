@@ -13,7 +13,7 @@ OpWorkload
 simpleWorkload(const ChipConfig &chip, s64 tiles, double ai, s64 rows = 1000)
 {
     OpWorkload w;
-    w.name = "w";
+    w.name = std::string("w");
     w.weightTiles = tiles;
     w.utilization = 1.0;
     w.movingRows = rows;

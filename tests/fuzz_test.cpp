@@ -15,6 +15,7 @@
 #include "metaop/validator.hpp"
 #include "sim/functional.hpp"
 #include "sim/timing.hpp"
+#include "support/serialize.hpp"
 #include "test_util.hpp"
 
 namespace cmswitch {
@@ -34,10 +35,10 @@ randomGraph(Rng &rng)
     s64 ops = rng.nextInt(2, 6);
     for (s64 i = 0; i < ops; ++i) {
         s64 out_dim = 8 * rng.nextInt(2, 6);
-        TensorId w = g.addTensor("w" + std::to_string(i),
+        TensorId w = g.addTensor(concat("w", i),
                                  Shape{dim, out_dim}, DType::kInt8,
                                  TensorKind::kWeight);
-        TensorId y = g.addTensor("y" + std::to_string(i),
+        TensorId y = g.addTensor(concat("y", i),
                                  Shape{batch, out_dim});
         Operator mm;
         mm.name = "mm" + std::to_string(i);
@@ -136,6 +137,40 @@ TEST_P(CompilerFuzz, EveryCompilerEveryInvariant)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompilerFuzz, ::testing::Range(0, 15));
+
+class SearchDiffFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SearchDiffFuzz, FastAndReferencePlansIdenticalOnRandomGraphs)
+{
+    // Random-shape counterpart of tests/segmenter_diff_test.cpp: on
+    // arbitrary DAGs (residuals, activation interludes, random dims)
+    // the optimized search stack must still serialize byte-identically
+    // to the retained pre-optimization path, for both the DP compiler
+    // (cmswitch) and a greedy one sharing the allocator (cim-mlc).
+    Rng rng(static_cast<u64>(GetParam()) * 0x9e3779b97f4a7c15ull + 11);
+    ChipConfig chip = testing::tinyChip(rng.nextInt(6, 14));
+    Graph g = randomGraph(rng);
+
+    for (const char *name : {"cmswitch", "cim-mlc"}) {
+        auto fast = makeCompilerByName(name, chip);
+        auto reference = makeCompilerByName(name, chip,
+                                            /*referenceSearch=*/true);
+        CompileResult a = fast->compile(g);
+        CompileResult b = reference->compile(g);
+        a.compileSeconds = 0.0;
+        b.compileSeconds = 0.0;
+        BinaryWriter wa, wb;
+        a.writeBinary(wa);
+        b.writeBinary(wb);
+        EXPECT_TRUE(wa.bytes() == wb.bytes())
+            << name << ": fast and reference plans diverge on seed "
+            << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchDiffFuzz, ::testing::Range(0, 12));
 
 } // namespace
 } // namespace cmswitch

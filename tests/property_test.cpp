@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "compiler/segmenter.hpp"
 #include "graph/serialize.hpp"
 #include "models/model_zoo.hpp"
@@ -16,6 +18,48 @@
 
 namespace cmswitch {
 namespace {
+
+/** Random small DAG of ScheduledOps: workloads sized for the tiny
+ *  chips, dependency edges reaching up to three ops back. */
+std::vector<ScheduledOp>
+randomScheduledOps(Rng &rng, const ChipConfig &chip, s64 n)
+{
+    std::vector<ScheduledOp> ops;
+    ops.reserve(static_cast<std::size_t>(n));
+    for (s64 i = 0; i < n; ++i) {
+        ScheduledOp op;
+        op.work = testing::randomWorkload(rng, chip, 3);
+        op.work.opId = static_cast<OpId>(i);
+        op.liveOutBytes = rng.nextInt(0, 4096);
+        for (s64 p = std::max<s64>(0, i - 3); p < i; ++p) {
+            if (rng.nextInt(0, 2) == 0) {
+                op.preds.push_back(p);
+                op.reuseBytes.push_back(rng.nextInt(64, 8192));
+            }
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+void
+expectSameAllocation(const SegmentAllocation &cached,
+                     const SegmentAllocation &fresh, s64 lo, s64 hi)
+{
+    EXPECT_EQ(cached.intraLatency, fresh.intraLatency)
+        << "range [" << lo << ", " << hi << ")";
+    EXPECT_EQ(cached.reusedArrays, fresh.reusedArrays);
+    EXPECT_EQ(cached.plan.computeArrays, fresh.plan.computeArrays);
+    EXPECT_EQ(cached.plan.memoryArrays, fresh.plan.memoryArrays);
+    ASSERT_EQ(cached.allocs.size(), fresh.allocs.size());
+    for (std::size_t i = 0; i < cached.allocs.size(); ++i) {
+        EXPECT_EQ(cached.allocs[i].computeArrays,
+                  fresh.allocs[i].computeArrays);
+        EXPECT_EQ(cached.allocs[i].memInArrays, fresh.allocs[i].memInArrays);
+        EXPECT_EQ(cached.allocs[i].memOutArrays,
+                  fresh.allocs[i].memOutArrays);
+    }
+}
 
 class Seeded : public ::testing::TestWithParam<int>
 {
@@ -131,6 +175,79 @@ TEST_P(DpDominance, DpNeverWorseThanGreedy)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DpDominance, ::testing::Range(0, 10));
+
+using RangeCacheConsistency = Seeded;
+
+TEST_P(RangeCacheConsistency, CachedAllocationsEqualFreshRecomputes)
+{
+    // The segmenter's two-level cache (flat-hash range keys over the
+    // cross-run signature cache) must be semantically invisible: for
+    // any range of any random DAG, the cached allocation equals what a
+    // fresh allocator computes from scratch.
+    Deha deha(testing::tinyChip(static_cast<s64>(rng_.nextInt(8, 16))));
+    CostModel cost(deha);
+    SegmenterOptions opt;
+    Segmenter segmenter(cost, opt);
+    DualModeAllocator fresh(cost, opt.alloc);
+
+    const s64 n = rng_.nextInt(4, 12);
+    std::vector<ScheduledOp> ops = randomScheduledOps(rng_, deha.config(), n);
+    segmenter.run(ops); // populates the caches along the DP's ranges
+    EXPECT_GT(segmenter.cacheMisses(), 0);
+
+    for (int probe = 0; probe < 25; ++probe) {
+        s64 lo = rng_.nextInt(0, n - 1);
+        s64 hi = rng_.nextInt(lo + 1, n);
+        const SegmentAllocation &cached =
+            segmenter.allocationForRange(ops, lo, hi);
+        // Probe again: the second lookup is a guaranteed range-cache
+        // hit and must alias the same allocation.
+        s64 hits_before = segmenter.cacheHits();
+        const SegmentAllocation &rehit =
+            segmenter.allocationForRange(ops, lo, hi);
+        EXPECT_EQ(&cached, &rehit);
+        EXPECT_GT(segmenter.cacheHits(), hits_before);
+        expectSameAllocation(cached,
+                             fresh.allocate(makeSegmentView(ops, lo, hi)),
+                             lo, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeCacheConsistency,
+                         ::testing::Range(0, 10));
+
+using RangeKeyPacking = Seeded;
+
+TEST_P(RangeKeyPacking, PackedKeysRoundTripWithoutCollision)
+{
+    // The per-run range cache packs (lo, hi) as lo * (n + 1) + hi.
+    // Round-tripping the key through / and % proves injectivity; the
+    // sweep covers n from tiny up to Segmenter::kMaxOps (the packing
+    // guard asserted by Segmenter::run).
+    const s64 sizes[] = {1, 2, 63, 64, 4096, 1 << 20,
+                         Segmenter::kMaxOps};
+    for (s64 n : sizes) {
+        for (int trial = 0; trial < 50; ++trial) {
+            s64 lo = rng_.nextInt(0, n - 1);
+            s64 hi = rng_.nextInt(lo + 1, n);
+            s64 key = lo * (n + 1) + hi;
+            ASSERT_GE(key, 0) << "overflow at n=" << n;
+            EXPECT_EQ(key / (n + 1), lo) << "n=" << n;
+            EXPECT_EQ(key % (n + 1), hi) << "n=" << n;
+        }
+    }
+    // Small n: exhaustive distinctness over every legal (lo, hi).
+    const s64 n = 40;
+    std::unordered_set<s64> seen;
+    for (s64 lo = 0; lo < n; ++lo) {
+        for (s64 hi = lo + 1; hi <= n; ++hi)
+            EXPECT_TRUE(seen.insert(lo * (n + 1) + hi).second)
+                << "collision at (" << lo << ", " << hi << ")";
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n * (n + 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeKeyPacking, ::testing::Range(0, 4));
 
 using SerializeFuzz = Seeded;
 

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include <unordered_map>
+
 #include "support/common.hpp"
+#include "support/flat_map.hpp"
 #include "support/random.hpp"
 #include "support/serialize.hpp"
 #include "support/strings.hpp"
@@ -248,6 +251,75 @@ TEST(Rng, WorkloadSequencesDivergeAcrossSeeds)
     }
     EXPECT_TRUE(any_difference) << "seeds 42 and 43 produced identical "
                                    "50-workload streams";
+}
+
+TEST(FlatRangeMap, FindOnEmptyAndAfterClear)
+{
+    FlatRangeMap<int> map;
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.find(12345), nullptr);
+    map.insert(7, 70);
+    ASSERT_NE(map.find(7), nullptr);
+    map.clear();
+    EXPECT_EQ(map.find(7), nullptr);
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatRangeMap, MatchesUnorderedMapUnderRandomLoad)
+{
+    Rng rng(99);
+    FlatRangeMap<s64> map;
+    std::unordered_map<s64, s64> reference;
+    for (int i = 0; i < 5000; ++i) {
+        s64 key = rng.nextInt(0, 20000);
+        if (reference.count(key)) {
+            s64 *found = map.find(key);
+            ASSERT_NE(found, nullptr);
+            EXPECT_EQ(*found, reference[key]);
+        } else {
+            s64 value = rng.nextInt(0, 1 << 30);
+            reference[key] = value;
+            map.insert(key, value);
+        }
+    }
+    EXPECT_EQ(map.size(), reference.size());
+    for (const auto &[key, value] : reference) {
+        s64 *found = map.find(key);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, value);
+    }
+    // Probes for absent keys (including ones past every insert).
+    for (int i = 0; i < 1000; ++i) {
+        s64 key = rng.nextInt(20001, 40000);
+        EXPECT_EQ(map.find(key), nullptr);
+    }
+}
+
+TEST(FlatRangeMap, ReferencesSurviveGrowth)
+{
+    FlatRangeMap<s64> map;
+    s64 &first = map.insert(0, 1000);
+    std::vector<s64 *> pointers;
+    for (s64 k = 1; k <= 512; ++k)
+        pointers.push_back(&map.insert(k, 1000 + k));
+    EXPECT_EQ(first, 1000);
+    for (s64 k = 1; k <= 512; ++k)
+        EXPECT_EQ(*pointers[static_cast<std::size_t>(k - 1)], 1000 + k);
+    EXPECT_EQ(map.find(0), &first);
+}
+
+TEST(Mix64, DistinctOnSequentialKeys)
+{
+    // Not a statistical test — just pins that the mixer is not the
+    // identity and spreads dense range keys across the low bits the
+    // flat map masks with.
+    std::unordered_map<u64, u64> seen;
+    for (u64 k = 0; k < 4096; ++k) {
+        u64 h = mix64(k);
+        EXPECT_NE(h, k);
+        seen[h] = k;
+    }
+    EXPECT_EQ(seen.size(), 4096u);
 }
 
 TEST(Rng, RangesRespected)

@@ -11,6 +11,7 @@
 #include "cost/cost_model.hpp"
 #include "graph/graph.hpp"
 #include "support/random.hpp"
+#include "support/strings.hpp"
 
 namespace cmswitch::testing {
 
@@ -65,10 +66,10 @@ chainMlp(s64 n, s64 dim = 32, s64 batch = 2)
     TensorId x = g.addTensor("x", Shape{batch, dim}, DType::kInt8,
                              TensorKind::kInput);
     for (s64 i = 0; i < n; ++i) {
-        TensorId w = g.addTensor("w" + std::to_string(i), Shape{dim, dim},
+        TensorId w = g.addTensor(concat("w", i), Shape{dim, dim},
                                  DType::kInt8, TensorKind::kWeight);
         bool last = i + 1 == n;
-        TensorId y = g.addTensor("y" + std::to_string(i), Shape{batch, dim},
+        TensorId y = g.addTensor(concat("y", i), Shape{batch, dim},
                                  DType::kInt8,
                                  last ? TensorKind::kOutput
                                       : TensorKind::kActivation);
