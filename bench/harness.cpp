@@ -93,7 +93,13 @@ BenchReport::BenchReport(std::string benchName,
 void
 BenchReport::setConfig(const std::string &key, const std::string &value)
 {
-    config_.emplace_back(key, value);
+    config_.push_back(ConfigEntry{key, value, 0, false});
+}
+
+void
+BenchReport::setConfig(const std::string &key, s64 value)
+{
+    config_.push_back(ConfigEntry{key, {}, value, true});
 }
 
 void
@@ -120,14 +126,24 @@ BenchReport::toJson() const
     w.field("warmups", static_cast<s64>(options_.warmups));
     w.field("repeats", static_cast<s64>(options_.repeats));
     w.field("trim_fraction", options_.trimFraction);
-    for (const auto &[key, value] : config_)
-        w.field(key, value);
+    for (const ConfigEntry &entry : config_) {
+        if (entry.numeric)
+            w.field(entry.key, entry.number);
+        else
+            w.field(entry.key, entry.text);
+    }
     w.endObject();
 
+    // Sampling failures (non-Linux, or a truncated /proc read) leave
+    // the -1 sentinels; omit those fields rather than publish a bogus
+    // negative size — consumers (tests/bench_gate.cmake) treat an
+    // absent field as "not measured" and skip it.
     MemorySample mem = sampleMemory();
     w.key("memory").beginObject();
-    w.field("rss_kb", mem.rssKb);
-    w.field("peak_rss_kb", mem.peakRssKb);
+    if (mem.rssKb >= 0)
+        w.field("rss_kb", mem.rssKb);
+    if (mem.peakRssKb >= 0)
+        w.field("peak_rss_kb", mem.peakRssKb);
     w.endObject();
 
     w.key("workloads").beginArray();

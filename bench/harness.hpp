@@ -10,7 +10,8 @@
  *    trimmed-mean over repeats, so one scheduler hiccup cannot fail the
  *    perf gate;
  *  - bench::sampleMemory — peak/current RSS from /proc/self/status
- *    (-1 where unavailable), so memory regressions show up in the
+ *    (-1 where unavailable; reports omit unmeasured fields instead of
+ *    publishing the sentinel), so memory regressions show up in the
  *    trajectory too;
  *  - bench::BenchReport — the versioned `cmswitch-bench-v1` JSON
  *    report (schema documented in README.md) written via the
@@ -102,6 +103,9 @@ class BenchReport
     /** Free-form configuration note (e.g. "full" vs trimmed sweep). */
     void setConfig(const std::string &key, const std::string &value);
 
+    /** Numeric configuration note, emitted as a JSON number. */
+    void setConfig(const std::string &key, s64 value);
+
     void add(BenchRecord record);
 
     /** Cross-workload aggregate (geomeans etc.). */
@@ -116,7 +120,14 @@ class BenchReport
   private:
     std::string benchName_;
     Harness::Options options_;
-    std::vector<std::pair<std::string, std::string>> config_;
+    struct ConfigEntry
+    {
+        std::string key;
+        std::string text; // used when !numeric
+        s64 number = 0;   // used when numeric
+        bool numeric = false;
+    };
+    std::vector<ConfigEntry> config_;
     std::vector<BenchRecord> records_;
     std::vector<std::pair<std::string, double>> summary_;
 };

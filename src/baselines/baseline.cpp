@@ -5,10 +5,12 @@
 namespace cmswitch {
 
 std::unique_ptr<Compiler>
-makeCmSwitchCompiler(ChipConfig chip, bool referenceSearch)
+makeCmSwitchCompiler(ChipConfig chip, bool referenceSearch,
+                     s64 searchThreads)
 {
     CmSwitchOptions options;
     options.segmenter.referenceSearch = referenceSearch;
+    options.segmenter.searchThreads = searchThreads;
     return std::make_unique<CmSwitchCompiler>(std::move(chip), options,
                                               "cmswitch");
 }
@@ -26,16 +28,16 @@ makeAllCompilers(const ChipConfig &chip)
 
 std::unique_ptr<Compiler>
 makeCompilerByName(const std::string &name, const ChipConfig &chip,
-                   bool referenceSearch)
+                   bool referenceSearch, s64 searchThreads)
 {
     if (name == "cmswitch")
-        return makeCmSwitchCompiler(chip, referenceSearch);
+        return makeCmSwitchCompiler(chip, referenceSearch, searchThreads);
     if (name == "cim-mlc")
-        return makeCimMlcCompiler(chip, referenceSearch);
+        return makeCimMlcCompiler(chip, referenceSearch, searchThreads);
     if (name == "occ")
-        return makeOccCompiler(chip, referenceSearch);
+        return makeOccCompiler(chip, referenceSearch, searchThreads);
     if (name == "puma")
-        return makePumaCompiler(chip, referenceSearch);
+        return makePumaCompiler(chip, referenceSearch, searchThreads);
     cmswitch_fatal("unknown compiler '", name, "'");
 }
 

@@ -25,6 +25,9 @@ requestKey(const CompileRequest &request)
     h = fnv1a64(serializeGraph(request.workload), h);
     h = fnv1a64(request.compilerId, h);
     h = fnv1a64(request.optimize ? "|optimize" : "|raw", h);
+    // searchThreads is deliberately excluded: plans are byte-identical
+    // for any search width (segmenter_diff_test pins this), so a warm
+    // cache serves every width from one entry.
     return hexDigest(h);
 }
 
@@ -51,7 +54,12 @@ compileArtifact(const CompileRequest &request, std::string key)
         graph = &optimized;
     }
 
-    auto compiler = makeCompilerByName(request.compilerId, request.chip);
+    cmswitch_fatal_if(request.searchThreads < 1,
+                      "compile request needs searchThreads >= 1, got ",
+                      request.searchThreads);
+    auto compiler = makeCompilerByName(request.compilerId, request.chip,
+                                       /*referenceSearch=*/false,
+                                       request.searchThreads);
     artifact->result = compiler->compile(*graph);
 
     Deha deha(request.chip);
@@ -62,11 +70,26 @@ compileArtifact(const CompileRequest &request, std::string key)
     return artifact;
 }
 
-CompileService::CompileService(CompileServiceOptions options)
-    : options_(std::move(options)), cache_(options_.cacheCapacity)
+// Runs in the member-init list so a bad option fatals with the
+// service's own message before any member (the plan cache, the worker
+// pool) ever sees the value.
+static CompileServiceOptions validatedServiceOptions(CompileServiceOptions options)
 {
-    cmswitch_fatal_if(options_.threads < 1,
+    cmswitch_fatal_if(options.threads < 1,
                       "compile service needs at least one worker thread");
+    cmswitch_fatal_if(options.searchThreads < 1,
+                      "compile service needs searchThreads >= 1, got ",
+                      options.searchThreads);
+    cmswitch_fatal_if(options.cacheCapacity < 1,
+                      "compile service needs cacheCapacity >= 1, got ",
+                      options.cacheCapacity);
+    return options;
+}
+
+CompileService::CompileService(CompileServiceOptions options)
+    : options_(validatedServiceOptions(std::move(options))),
+      cache_(options_.cacheCapacity)
+{
     if (!options_.cacheDir.empty())
         disk_ = std::make_unique<DiskPlanCache>(options_.cacheDir);
     workers_.reserve(static_cast<std::size_t>(options_.threads));
@@ -116,6 +139,7 @@ CompileService::lookup(const CompileRequest &request, const std::string &key)
 std::future<ArtifactPtr>
 CompileService::submit(CompileRequest request)
 {
+    request.searchThreads = options_.searchThreads;
     std::string key = requestKey(request); // hash before the move below
     std::packaged_task<ArtifactPtr()> task(
         [this, request = std::move(request),
@@ -141,8 +165,10 @@ CompileService::compileNow(const CompileRequest &request)
         std::lock_guard<std::mutex> lock(mutex_);
         ++requests_;
     }
-    std::string key = requestKey(request);
-    return lookup(request, key);
+    CompileRequest stamped = request;
+    stamped.searchThreads = options_.searchThreads;
+    std::string key = requestKey(stamped);
+    return lookup(stamped, key);
 }
 
 CompileServiceStats

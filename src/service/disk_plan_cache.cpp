@@ -19,7 +19,8 @@ DiskPlanCacheStats::writeJsonFields(JsonWriter &w) const
     w.field("disk_hits", hits)
         .field("disk_misses", misses)
         .field("disk_stores", stores)
-        .field("disk_rejected", rejected);
+        .field("disk_rejected", rejected)
+        .field("disk_touch_failed", touchFailed);
 }
 
 DiskPlanCache::DiskPlanCache(std::string directory)
@@ -77,15 +78,22 @@ DiskPlanCache::load(const std::string &key)
         ++stats_.rejected;
         return nullptr;
     }
+    // Refresh the plan file's mtime so `cmswitchc cache gc` (LRU by
+    // mtime) treats reads as uses, not just writes. Best effort: a
+    // read-only cache directory still serves hits; the failure is
+    // counted (touchFailed) so operators can see GC's LRU order is
+    // running on stale read times.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    if (ec)
+        informVerbose("plan cache hit ", path,
+                      " but mtime refresh failed: ", ec.message());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
+        if (ec)
+            ++stats_.touchFailed;
     }
-    // Refresh the plan file's mtime so `cmswitchc cache gc` (LRU by
-    // mtime) treats reads as uses, not just writes. Best effort: a
-    // read-only cache directory still serves hits.
-    std::error_code ec;
-    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return artifact;
 }
 

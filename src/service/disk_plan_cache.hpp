@@ -46,6 +46,10 @@ struct DiskPlanCacheStats
     s64 stores = 0;   ///< artifacts written (and published) to disk
     s64 rejected = 0; ///< corrupt / truncated / wrong-version / wrong-key
                       ///< files ignored (each also counts as a miss)
+    s64 touchFailed = 0; ///< hits whose LRU mtime refresh failed (e.g. a
+                         ///< read-only cache dir); the hit still serves.
+                         ///< Per-process only — not in the sidecar, whose
+                         ///< v1 envelope carries the four totals above
 
     /** Emit {"disk_hits", ...} fields into the currently open object. */
     void writeJsonFields(JsonWriter &w) const;

@@ -6,6 +6,7 @@
 
 #include "service/artifact_io.hpp"
 #include "support/hash.hpp"
+#include "support/strings.hpp"
 
 #ifndef CMSWITCH_VERSION
 #define CMSWITCH_VERSION "dev"
@@ -71,7 +72,7 @@ buildFingerprint()
         if (it != testBumps().end())
             revision += it->second;
         h = fnv1a64(entry.pass, h);
-        h = fnv1a64(":" + std::to_string(revision) + ";", h);
+        h = fnv1a64(concat(":", revision, ";"), h);
     }
     cachedFingerprint() = h;
     return h;

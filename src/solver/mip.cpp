@@ -1,9 +1,11 @@
 #include "solver/mip.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <queue>
 
 #include "support/logging.hpp"
+#include "support/task_pool.hpp"
 
 namespace cmswitch {
 
@@ -23,6 +25,8 @@ struct NodeOrder
         return a.bound > b.bound; // best (lowest) bound first
     }
 };
+
+using OpenQueue = std::priority_queue<Node, std::vector<Node>, NodeOrder>;
 
 /** Index of the most fractional integer variable, or -1 if integral. */
 VarId
@@ -44,53 +48,57 @@ pickBranchVar(const LinearModel &model, const std::vector<double> &values,
     return best;
 }
 
-} // namespace
-
-MipResult
-solveMip(const LinearModel &model, const MipOptions &options)
+/** One best-first search over a frontier, serial within itself. */
+struct SearchState
 {
-    const double dir = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-
-    MipResult result;
-    result.status = SolveStatus::kInfeasible;
-
-    // Every node relaxation differs from its neighbours only in
-    // variable bounds, so when the caller opts in (provides a slot),
-    // one warm-start basis is threaded through the whole tree and
-    // across calls. Without a slot every LP pivots cold — callers that
-    // need the historical pivot path bit-for-bit (the allocator's
-    // allocation-filling solves) rely on that.
-    LpWarmStart *warm = options.warmStart;
-
-    // Root relaxation.
-    LpSolution root = solveLp(model, warm);
-    ++result.nodesExplored;
-    if (root.status == SolveStatus::kInfeasible
-        || root.status == SolveStatus::kLimit) {
-        result.status = root.status;
-        return result;
-    }
-    cmswitch_assert(root.status != SolveStatus::kUnbounded
-                        || model.objective().terms().empty(),
-                    "unbounded MIPs are not supported");
-
-    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-    open.push(Node{dir * root.objective, {}});
-
+    OpenQueue open;
     bool have_incumbent = false;
-    double incumbent_obj = 0.0; // in minimisation direction
+    double incumbent_obj = 0.0; // minimisation direction
+    MipResult result;
+};
 
-    // One scratch model reused across nodes: a node's bound overrides
-    // are applied before its relaxation and rolled back afterwards,
-    // instead of deep-copying the model (variable names, constraint
-    // term lists) once per node.
-    LinearModel scratch = model;
+/** Lower @p shared to @p value if it improves it (CAS min). */
+void
+lowerSharedBound(std::atomic<double> &shared, double value)
+{
+    double cur = shared.load(std::memory_order_relaxed);
+    while (value < cur
+           && !shared.compare_exchange_weak(cur, value,
+                                            std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Pop-and-branch until the frontier drains, the node budget runs out,
+ * or (stop_width > 0) the frontier grows to stop_width nodes. With
+ * @p shared_best set, incumbents from concurrent sibling searches
+ * tighten the prune bound exactly like a local incumbent would; the
+ * bound only ever holds true solution objectives, so no subtree that
+ * could still improve on the global optimum by more than gapAbs is
+ * ever pruned — the optimal objective matches the serial search.
+ */
+void
+drainBnb(const LinearModel &model, const MipOptions &options, double dir,
+         LpWarmStart *warm, LinearModel &scratch, SearchState &state,
+         s64 stop_width, std::atomic<double> *shared_best)
+{
+    OpenQueue &open = state.open;
+    MipResult &result = state.result;
     std::vector<std::pair<VarId, std::pair<double, double>>> saved_bounds;
 
     while (!open.empty() && result.nodesExplored < options.maxNodes) {
+        if (stop_width > 0 && static_cast<s64>(open.size()) >= stop_width)
+            return;
+        double best_known = state.have_incumbent ? state.incumbent_obj
+                                                 : kInfinity;
+        if (shared_best != nullptr) {
+            best_known = std::min(
+                best_known, shared_best->load(std::memory_order_relaxed));
+        }
+
         Node node = open.top();
         open.pop();
-        if (have_incumbent && node.bound >= incumbent_obj - options.gapAbs)
+        if (node.bound >= best_known - options.gapAbs)
             continue; // bound-pruned
 
         saved_bounds.clear();
@@ -113,14 +121,14 @@ solveMip(const LinearModel &model, const MipOptions &options)
             continue; // infeasible subtree
 
         double lp_obj = dir * lp.objective;
-        if (have_incumbent && lp_obj >= incumbent_obj - options.gapAbs)
+        if (lp_obj >= best_known - options.gapAbs)
             continue;
 
         VarId branch = pickBranchVar(scratch, lp.values, options.intTol);
         if (branch < 0) {
             // Integral: new incumbent.
-            have_incumbent = true;
-            incumbent_obj = lp_obj;
+            state.have_incumbent = true;
+            state.incumbent_obj = lp_obj;
             result.status = SolveStatus::kOptimal;
             result.objective = lp.objective;
             result.values = lp.values;
@@ -131,6 +139,8 @@ solveMip(const LinearModel &model, const MipOptions &options)
                         std::round(result.values[static_cast<std::size_t>(v)]);
                 }
             }
+            if (shared_best != nullptr)
+                lowerSharedBound(*shared_best, lp_obj);
             continue;
         }
 
@@ -146,10 +156,117 @@ solveMip(const LinearModel &model, const MipOptions &options)
         open.push(std::move(down));
         open.push(std::move(up));
     }
+}
 
-    if (!open.empty() && !have_incumbent)
-        result.status = SolveStatus::kLimit;
-    return result;
+} // namespace
+
+MipResult
+solveMip(const LinearModel &model, const MipOptions &options)
+{
+    const double dir = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+    // Every node relaxation differs from its neighbours only in
+    // variable bounds, so when the caller opts in (provides a slot),
+    // one warm-start basis is threaded through the whole tree and
+    // across calls. Without a slot every LP pivots cold — callers that
+    // need the historical pivot path bit-for-bit (the allocator's
+    // allocation-filling solves) rely on that.
+    LpWarmStart *warm = options.warmStart;
+
+    SearchState state;
+    state.result.status = SolveStatus::kInfeasible;
+
+    // Root relaxation.
+    LpSolution root = solveLp(model, warm);
+    ++state.result.nodesExplored;
+    if (root.status == SolveStatus::kInfeasible
+        || root.status == SolveStatus::kLimit) {
+        state.result.status = root.status;
+        return state.result;
+    }
+    cmswitch_assert(root.status != SolveStatus::kUnbounded
+                        || model.objective().terms().empty(),
+                    "unbounded MIPs are not supported");
+
+    state.open.push(Node{dir * root.objective, {}});
+
+    // One scratch model reused across nodes: a node's bound overrides
+    // are applied before its relaxation and rolled back afterwards,
+    // instead of deep-copying the model (variable names, constraint
+    // term lists) once per node.
+    LinearModel scratch = model;
+
+    const bool parallel = options.pool != nullptr && options.searchThreads > 1
+                          && !TaskPool::insideTask();
+    if (!parallel) {
+        drainBnb(model, options, dir, warm, scratch, state,
+                 /*stop_width=*/0, /*shared_best=*/nullptr);
+        if (!state.open.empty() && !state.have_incumbent)
+            state.result.status = SolveStatus::kLimit;
+        return state.result;
+    }
+
+    // Parallel mode: grow a frontier serially (identical pop order to
+    // the serial search), then hand each frontier node to its own
+    // self-contained best-first search. Subtrees only communicate
+    // through the shared incumbent bound.
+    drainBnb(model, options, dir, warm, scratch, state,
+             /*stop_width=*/2 * options.searchThreads,
+             /*shared_best=*/nullptr);
+    if (state.open.empty() || state.result.nodesExplored >= options.maxNodes) {
+        if (!state.open.empty() && !state.have_incumbent)
+            state.result.status = SolveStatus::kLimit;
+        return state.result;
+    }
+
+    std::vector<Node> frontier;
+    frontier.reserve(state.open.size());
+    while (!state.open.empty()) {
+        frontier.push_back(state.open.top()); // best-bound order
+        state.open.pop();
+    }
+
+    std::atomic<double> shared_best{
+        state.have_incumbent ? state.incumbent_obj : kInfinity};
+    std::vector<SearchState> subs(frontier.size());
+    options.pool->parallelFor(
+        static_cast<s64>(frontier.size()), [&](s64 f) {
+            SearchState &sub = subs[static_cast<std::size_t>(f)];
+            sub.result.status = SolveStatus::kInfeasible;
+            sub.open.push(frontier[static_cast<std::size_t>(f)]);
+            LinearModel sub_scratch = model;
+            LpWarmStart sub_warm; // cold per subtree; never shared
+            drainBnb(model, options, dir, &sub_warm, sub_scratch, sub,
+                     /*stop_width=*/0, &shared_best);
+        });
+
+    // Deterministic merge: the expansion incumbent is considered
+    // first, then each subtree in frontier (best-bound) order; a
+    // subtree replaces the winner only by improving it beyond gapAbs,
+    // mirroring the serial incumbent-acceptance rule.
+    MipResult merged = state.result;
+    bool have = state.have_incumbent;
+    double best_obj = state.incumbent_obj;
+    bool open_left = false;
+    for (const SearchState &sub : subs) {
+        merged.nodesExplored += sub.result.nodesExplored;
+        open_left = open_left || !sub.open.empty();
+        if (!sub.have_incumbent)
+            continue;
+        if (!have || sub.incumbent_obj < best_obj - options.gapAbs) {
+            have = true;
+            best_obj = sub.incumbent_obj;
+            merged.status = sub.result.status;
+            merged.objective = sub.result.objective;
+            merged.values = sub.result.values;
+        }
+    }
+    if (have)
+        merged.status = SolveStatus::kOptimal;
+    else
+        merged.status = open_left ? SolveStatus::kLimit
+                                  : SolveStatus::kInfeasible;
+    return merged;
 }
 
 } // namespace cmswitch

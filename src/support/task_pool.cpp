@@ -1,0 +1,110 @@
+#include "support/task_pool.hpp"
+
+namespace cmswitch {
+
+namespace {
+/**
+ * Set while the current thread executes a task of *any* pool; forces
+ * nested parallelFor calls inline so one shared pool cannot deadlock
+ * on itself or oversubscribe the machine.
+ */
+thread_local bool t_inside_task = false;
+} // namespace
+
+bool
+TaskPool::insideTask()
+{
+    return t_inside_task;
+}
+
+TaskPool::TaskPool(s64 threads) : threads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (s64 t = 1; t < threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+TaskPool::workerLoop()
+{
+    u64 seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+        if (stopping_)
+            return;
+        seen = generation_;
+        // A worker that wakes after the batch fully drained (job_
+        // already cleared) just goes back to sleep; active_ guarantees
+        // the batch owner cannot return while we are inside the loop
+        // below, so job_/jobSize_ stay valid for the whole drain.
+        if (job_ == nullptr)
+            continue;
+        const std::function<void(s64)> *job = job_;
+        s64 size = jobSize_;
+        ++active_;
+        lock.unlock();
+        t_inside_task = true;
+        for (;;) {
+            s64 i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= size)
+                break;
+            (*job)(i);
+        }
+        t_inside_task = false;
+        lock.lock();
+        if (--active_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+TaskPool::parallelFor(s64 n, const std::function<void(s64)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (workers_.empty() || n == 1 || t_inside_task) {
+        for (s64 i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobSize_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    lock.unlock();
+    wake_.notify_all();
+
+    // The caller claims indices like any worker.
+    t_inside_task = true;
+    for (;;) {
+        s64 i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        fn(i);
+    }
+    t_inside_task = false;
+
+    // All indices are claimed once next_ >= n, but a worker may still
+    // be executing its last claim; wait for every participant to
+    // retire before invalidating the batch.
+    lock.lock();
+    done_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    jobSize_ = 0;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bounded fork-join task pool for the parallel plan search.
+ *
+ * The pool runs index-parallel loops (`parallelFor`) over [0, n) with
+ * the *caller participating*: a pool built for T search threads spawns
+ * T-1 workers and the calling thread claims indices alongside them, so
+ * T=1 never touches a thread and T=2 costs one worker. Indices are
+ * claimed from a shared atomic counter — the order indices *execute*
+ * in is nondeterministic, which is why every caller in the search
+ * stack writes results into per-index slots and reduces them serially
+ * in index order afterwards. The pool itself never reorders or drops
+ * work: parallelFor returns only after fn(i) ran exactly once for
+ * every i.
+ *
+ * Nested parallelFor calls (from inside a task, on any pool) run
+ * inline on the calling thread: a thread-local depth flag keeps the
+ * search levers (DP sharding -> bisection speculation -> B&B subtree
+ * solves) from deadlocking on or oversubscribing the one pool they
+ * share.
+ */
+
+#ifndef CMSWITCH_SUPPORT_TASK_POOL_HPP
+#define CMSWITCH_SUPPORT_TASK_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class TaskPool
+{
+  public:
+    /** Builds a pool for `threads` participants (clamped to >= 1). */
+    explicit TaskPool(s64 threads);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Participant count (workers + calling thread). */
+    s64 threads() const { return threads_; }
+
+    /**
+     * Runs fn(i) for every i in [0, n), blocking until all complete.
+     * Runs inline (plain loop, ascending i) when the pool has no
+     * workers, n <= 1, or the caller is already inside a task.
+     */
+    void parallelFor(s64 n, const std::function<void(s64)> &fn);
+
+    /** True while the calling thread executes inside a parallelFor. */
+    static bool insideTask();
+
+  private:
+    void workerLoop();
+
+    s64 threads_ = 1;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(s64)> *job_ = nullptr; // null between batches
+    s64 jobSize_ = 0;
+    std::atomic<s64> next_{0}; // next unclaimed index of the batch
+    s64 active_ = 0;           // workers currently draining the batch
+    u64 generation_ = 0;       // bumped once per batch to wake workers
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_TASK_POOL_HPP

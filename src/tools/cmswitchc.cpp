@@ -80,6 +80,10 @@ Options:
                       compiled plan for this exact request from DIR
                       (cmswitch-plan-v1 artifact files, shared across
                       processes) and store fresh compiles back
+  --search-threads N  plan-search threads inside the compile
+                      (default 1). Plans are byte-identical for any
+                      value, so this only changes compile time — and
+                      cached plans are shared across values
   --stats             print the latency/energy breakdown only
   --help              print this message and exit
   --version           print the version and exit
@@ -95,6 +99,9 @@ report per job plus an aggregate summary:
   --cache-capacity N     compiled plans kept in memory (default 256)
   --cache-dir DIR        persistent plan cache shared with other runs
                          (lookups go memory -> disk -> compile)
+  --search-threads N     plan-search threads inside each compile
+                         (default 1; batch-level, not per job —
+                         deterministic, see single-mode flag above)
 
 Cache mode maintains a --cache-dir populated by earlier runs; every
 verb prints a JSON report to stdout:
@@ -144,6 +151,7 @@ struct CliArgs
     std::string outFile;
     std::string emitJson;
     std::string cacheDir;
+    s64 searchThreads = 1;
     bool statsOnly = false;
     bool optimize = false;
 };
@@ -236,6 +244,8 @@ parseFlags(const std::vector<std::string> &tokens, const std::string &context)
             args.emitJson = next();
         else if (flag == "--cache-dir")
             args.cacheDir = next();
+        else if (flag == "--search-threads")
+            args.searchThreads = nextInt(1);
         else if (flag == "--stats")
             args.statsOnly = true;
         else if (flag == "--optimize")
@@ -351,6 +361,7 @@ singleMain(int argc, char **argv)
     request.workload = resolveModel(args);
     request.compilerId = args.compiler;
     request.optimize = args.optimize;
+    request.searchThreads = args.searchThreads;
 
     ArtifactPtr artifact;
     if (args.cacheDir.empty()) {
@@ -500,6 +511,7 @@ struct BatchArgs
     std::string cacheDir;
     s64 threads = 1;
     s64 cacheCapacity = 256;
+    s64 searchThreads = 1;
 };
 
 BatchArgs
@@ -528,6 +540,8 @@ parseBatchArgs(int argc, char **argv)
             args.cacheCapacity = nextInt(1);
         else if (flag == "--cache-dir")
             args.cacheDir = next();
+        else if (flag == "--search-threads")
+            args.searchThreads = nextInt(1);
         else if (flag == "--help") {
             std::cout << kUsage;
             std::exit(0);
@@ -569,10 +583,12 @@ parseJobs(const BatchArgs &batch)
             batch.jobsFile + " line " + std::to_string(line_no);
         CliArgs args = parseFlags(tokens, context);
         if (!args.outFile.empty() || !args.emitJson.empty()
-            || !args.cacheDir.empty() || args.statsOnly) {
-            usageError(context + ": --out/--emit-json/--cache-dir/--stats "
-                       "are not valid in batch jobs (reports go to "
-                       "--out-dir, the cache is batch-level)");
+            || !args.cacheDir.empty() || args.statsOnly
+            || args.searchThreads != 1) {
+            usageError(context + ": --out/--emit-json/--cache-dir/--stats/"
+                       "--search-threads are not valid in batch jobs "
+                       "(reports go to --out-dir; the cache and search "
+                       "width are batch-level)");
         }
 
         BatchJob job;
@@ -614,6 +630,7 @@ batchMain(int argc, char **argv)
     auto t0 = std::chrono::steady_clock::now();
     CompileService service({.threads = batch.threads,
                             .cacheCapacity = batch.cacheCapacity,
+                            .searchThreads = batch.searchThreads,
                             .cacheDir = batch.cacheDir});
 
     std::vector<std::future<ArtifactPtr>> futures;
@@ -653,6 +670,7 @@ batchMain(int argc, char **argv)
         .field("schema", "cmswitch-batch-summary-v3")
         .field("jobs", static_cast<s64>(jobs.size()))
         .field("threads", batch.threads)
+        .field("search_threads", batch.searchThreads)
         .field("invalid_jobs", invalid)
         .field("wall_seconds", wall);
     w.key("cache")

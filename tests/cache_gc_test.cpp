@@ -21,6 +21,10 @@
 #include <string>
 #include <system_error>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
 #include "service/cache_maintenance.hpp"
 #include "service/compile_service.hpp"
 #include "service/disk_plan_cache.hpp"
@@ -209,6 +213,80 @@ TEST(CacheVerify, FlagsCorruptionAndKeyMismatchAndOptionallyDeletes)
     EXPECT_FALSE(fs::exists(dir.path() / (std::string(16, '2') + ".plan")));
     EXPECT_TRUE(fs::exists(dir.path() / (key + ".plan")));
 }
+
+TEST(DiskCacheTouch, ReadOnlyDirectoryStillServesHits)
+{
+    // gc's LRU wants every hit to refresh the plan's mtime, but a
+    // read-only cache directory (e.g. a shared CI artifact mount) must
+    // stay a working cache: the hit serves, whatever happens to the
+    // touch. The owner can still update timestamps of its own file, so
+    // this pins the serve-anyway behaviour; the privilege-dropping test
+    // below forces the touch to actually fail.
+    ScratchDir dir("touch_readonly");
+    const std::string key(16, '4');
+    DiskPlanCache cache(dir.str());
+    auto artifact = std::make_shared<CompileArtifact>();
+    artifact->key = key;
+    cache.store(key, artifact);
+
+    fs::permissions(dir.path(), fs::perms::owner_read | fs::perms::owner_exec
+                                    | fs::perms::group_read
+                                    | fs::perms::group_exec
+                                    | fs::perms::others_read
+                                    | fs::perms::others_exec);
+    ArtifactPtr hit = cache.load(key);
+    fs::permissions(dir.path(), fs::perms::owner_all);
+
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->key, key);
+    DiskPlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.rejected, 0);
+}
+
+#ifdef __unix__
+TEST(DiskCacheTouch, FailedMtimeRefreshCountsAndStillServes)
+{
+    // utimensat with explicit timestamps needs file ownership or write
+    // access, so a genuine touch failure requires dropping privileges:
+    // root stores a read-only plan, then loads it as an unprivileged
+    // euid. Skipped when not root (CI test users cannot chown/seteuid);
+    // the read-only-directory test above still runs there.
+    if (geteuid() != 0)
+        GTEST_SKIP() << "needs root to drop privileges for a failing touch";
+
+    ScratchDir dir("touch_failed");
+    const std::string key(16, '5');
+    DiskPlanCache cache(dir.str());
+    auto artifact = std::make_shared<CompileArtifact>();
+    artifact->key = key;
+    cache.store(key, artifact);
+
+    const fs::perms read_only = fs::perms::owner_read | fs::perms::group_read
+                              | fs::perms::others_read;
+    fs::permissions(cache.planPath(key), read_only);
+    fs::permissions(dir.path(), read_only | fs::perms::owner_exec
+                                    | fs::perms::group_exec
+                                    | fs::perms::others_exec);
+
+    ASSERT_EQ(seteuid(65534), 0); // nobody: can read, cannot touch
+    ArtifactPtr hit = cache.load(key);
+    EXPECT_EQ(seteuid(0), 0);
+    fs::permissions(dir.path(), fs::perms::owner_all);
+
+    ASSERT_NE(hit, nullptr) << "a failed touch must not drop the hit";
+    EXPECT_EQ(hit->key, key);
+    DiskPlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.touchFailed, 1);
+    EXPECT_EQ(stats.rejected, 0);
+
+    // A touchable plan keeps the counter still.
+    ArtifactPtr again = cache.load(key);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(cache.stats().touchFailed, 1);
+}
+#endif
 
 TEST(StatsSidecar, AccumulatesAcrossCacheInstances)
 {

@@ -12,6 +12,12 @@
 #      warm pass compiles nothing (every unique key is a disk hit),
 #      every per-job report is byte-identical to the cold serial run,
 #      and the v3 summaries carry matching sidecar/fingerprint fields;
+#   4b. the parallel plan search swept across real processes: a cold
+#      batch at --search-threads 8 (own cache dir, so all 48 cells
+#      really compile through the parallel search) must byte-match
+#      every cold-serial report, and a warm --search-threads 2 batch
+#      over the shared cache dir must serve every key from disk —
+#      plans cached at width 1 satisfy requests at any width;
 #   5. `cache verify` passes the warm directory, `cache gc
 #      --max-bytes 0` then reaps every artifact but never the sidecar.
 # Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P cache_smoke.cmake`.
@@ -177,20 +183,21 @@ set(jobs_file ${WORK_DIR}/jobs.txt)
 file(WRITE ${jobs_file} "${jobs}")
 set(batch_cache ${WORK_DIR}/batch-plan-cache)
 
-function(run_batch threads out_dir)
+# run_batch(<threads> <out_dir> <cache_dir> [extra batch flags...])
+function(run_batch threads out_dir cache)
     execute_process(COMMAND ${CMSWITCHC} batch --jobs ${jobs_file}
                             --threads ${threads} --out-dir ${out_dir}
-                            --cache-dir ${batch_cache}
+                            --cache-dir ${cache} ${ARGN}
                     RESULT_VARIABLE result
                     ERROR_VARIABLE err)
     if(NOT result EQUAL 0)
         message(FATAL_ERROR "cmswitchc batch --threads ${threads} "
-                            "--cache-dir failed (${result}):\n${err}")
+                            "${ARGN} --cache-dir failed (${result}):\n${err}")
     endif()
 endfunction()
 
-run_batch(1 ${WORK_DIR}/cold-serial)
-run_batch(4 ${WORK_DIR}/warm-mt)
+run_batch(1 ${WORK_DIR}/cold-serial ${batch_cache})
+run_batch(4 ${WORK_DIR}/warm-mt ${batch_cache})
 
 # expect_summary(<expected> <path...>): check one summary field.
 function(expect_summary summary expected)
@@ -248,6 +255,49 @@ foreach(report IN LISTS reports)
     endif()
 endforeach()
 
+# --- 4b. parallel plan search across processes ------------------------
+
+# Cold at --search-threads 8 against a fresh cache dir: every cell
+# compiles through the parallel search in a real process, and every
+# report must byte-match its cold-serial (--search-threads 1) twin.
+run_batch(1 ${WORK_DIR}/cold-st8 ${WORK_DIR}/batch-plan-cache-st8
+          --search-threads 8)
+file(READ ${WORK_DIR}/cold-st8/summary.json st8_summary)
+expect_summary("${st8_summary}" 8 search_threads)
+expect_summary("${st8_summary}" 0 invalid_jobs)
+expect_summary("${st8_summary}" ${job_count} cache disk_misses)
+foreach(report IN LISTS reports)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${WORK_DIR}/cold-serial/${report}
+                            ${WORK_DIR}/cold-st8/${report}
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${report} differs between --search-threads 1 "
+                            "(cold serial) and --search-threads 8 (cold)")
+    endif()
+endforeach()
+
+# Warm at --search-threads 2 over the shared cache dir: searchThreads is
+# not part of the request key, so plans stored by the width-1 cold run
+# must serve every width-2 request from disk — zero compiles.
+run_batch(2 ${WORK_DIR}/warm-st2 ${batch_cache} --search-threads 2)
+file(READ ${WORK_DIR}/warm-st2/summary.json st2_summary)
+expect_summary("${st2_summary}" 2 search_threads)
+expect_summary("${st2_summary}" 0 invalid_jobs)
+expect_summary("${st2_summary}" ${job_count} cache disk_hits)
+expect_summary("${st2_summary}" 0 cache disk_misses)
+expect_summary("${st2_summary}" 0 cache disk_stores)
+foreach(report IN LISTS reports)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${WORK_DIR}/cold-serial/${report}
+                            ${WORK_DIR}/warm-st2/${report}
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${report} differs between the cold serial "
+                            "and warm --search-threads 2 runs")
+    endif()
+endforeach()
+
 # --- 5. lifecycle: verify passes, gc reaps plans but not the sidecar --
 
 run_cache(verify_doc verify --cache-dir ${batch_cache})
@@ -261,11 +311,14 @@ expect_json("${gc_doc}" ${job_count} scanned_files)
 expect_json("${gc_doc}" ${job_count} deleted_files)
 expect_json("${gc_doc}" 0 kept_files)
 
-# Post-gc: the artifacts are gone, the sidecar totals are not.
+# Post-gc: the artifacts are gone, the sidecar totals are not. Two warm
+# passes hit this cache dir (warm-mt and warm-st2), the cold pass
+# missed+stored once per job.
 run_cache(post_gc_stats stats --cache-dir ${batch_cache})
+math(EXPR two_warm_passes "${job_count} * 2")
 expect_json("${post_gc_stats}" 0 plan_files)
 expect_json("${post_gc_stats}" ON sidecar_present)
-expect_json("${post_gc_stats}" ${job_count} hits)
+expect_json("${post_gc_stats}" ${two_warm_passes} hits)
 expect_json("${post_gc_stats}" ${job_count} misses)
 expect_json("${post_gc_stats}" ${job_count} stores)
 

@@ -9,6 +9,13 @@
  * is the license for every shortcut the fast path takes: any
  * divergence, down to a single latency cycle or reuse split, fails
  * here with the first differing byte offset.
+ *
+ * The same cells additionally sweep the fast search across
+ * searchThreads in {2, 8}: the parallel plan search (phased DP
+ * batching, speculative bisection, frontier branch-and-bound) must
+ * also be byte-identical to the serial fast path — the determinism
+ * contract behind `cmswitchc --search-threads` and the service's
+ * thread-invariant request keys.
  */
 
 #include <gtest/gtest.h>
@@ -69,6 +76,22 @@ TEST_P(SearchDiff, FastAndReferenceSearchProduceIdenticalPlans)
         << ": serialized plans diverge at byte "
         << firstDifference(fast_bytes, reference_bytes) << " of "
         << fast_bytes.size();
+
+    // Thread sweep: the parallel search must reproduce the serial fast
+    // plan byte for byte, for widths both under and well over the
+    // machine's core count.
+    for (s64 threads : {s64{2}, s64{8}}) {
+        auto parallel = makeCompilerByName(compiler_name, chip,
+                                           /*referenceSearch=*/false,
+                                           threads);
+        std::string parallel_bytes = serializedPlan(*parallel, graph);
+        EXPECT_TRUE(parallel_bytes == fast_bytes)
+            << compiler_name << " on " << workload_name << "@" << chip_name
+            << " at searchThreads=" << threads
+            << ": serialized plans diverge at byte "
+            << firstDifference(parallel_bytes, fast_bytes) << " of "
+            << fast_bytes.size();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
