@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "solver/mip.hpp"
 #include "support/logging.hpp"
 #include "support/task_pool.hpp"
@@ -116,6 +117,11 @@ bool
 DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
                              SegmentAllocation *out, LpWarmStart *warm) const
 {
+    if (out == nullptr)
+        obs::count(obs::Met::kAllocProbes);
+    obs::Span probeSpan(out == nullptr ? "alloc.probe" : "alloc.fill",
+                        "allocator");
+    probeSpan.arg("target", t);
     const s64 n_ops = static_cast<s64>(segment.ops.size());
     const s64 n_cim = cost_->chip().numSwitchArrays;
     const s64 array_bytes = cost_->chip().arrayMemoryBytes();
@@ -149,10 +155,14 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
     // inconclusive probes fall through to it. Plans are untouched: the
     // allocation-filling call always runs the exact solve.
     if (out == nullptr && !options_.referenceSearch) {
-        if (total <= n_cim)
+        if (total <= n_cim) {
+            obs::count(obs::Met::kAllocProbeShortcuts);
             return true; // fits with zero reuse; reuse only helps
-        if (segment.edges.empty() || !options_.allowMemoryMode)
+        }
+        if (segment.edges.empty() || !options_.allowMemoryMode) {
+            obs::count(obs::Met::kAllocProbeShortcuts);
             return false; // no reuse possible, and total > n_cim
+        }
         s64 reuse_ub = 0;
         for (const SegmentView::Edge &e : segment.edges) {
             reuse_ub += std::min(
@@ -160,8 +170,10 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
                  needs[static_cast<std::size_t>(e.from)].memoryArrays,
                  needs[static_cast<std::size_t>(e.to)].memoryArrays});
         }
-        if (total - reuse_ub > n_cim)
+        if (total - reuse_ub > n_cim) {
+            obs::count(obs::Met::kAllocProbeShortcuts);
             return false;
+        }
         s64 reuse_lb = 0;
         std::vector<s64> probe_pool(static_cast<std::size_t>(n_ops));
         for (s64 i = 0; i < n_ops; ++i) {
@@ -176,8 +188,10 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
             probe_pool[static_cast<std::size_t>(e.from)] -= r;
             probe_pool[static_cast<std::size_t>(e.to)] -= r;
         }
-        if (total - reuse_lb <= n_cim)
+        if (total - reuse_lb <= n_cim) {
+            obs::count(obs::Met::kAllocProbeShortcuts);
             return true;
+        }
         // Inconclusive: fall through to the exact reuse solve.
     }
 
@@ -346,6 +360,10 @@ DualModeAllocator::tryTarget(const SegmentView &segment, Cycles t,
 SegmentAllocation
 DualModeAllocator::allocate(const SegmentView &segment) const
 {
+    obs::ScopedPhase phase(obs::Hist::kPhaseAllocate, "alloc.allocate",
+                           "allocator");
+    phase.arg("ops", static_cast<s64>(segment.ops.size()));
+    obs::count(obs::Met::kAllocRuns);
     SegmentAllocation result;
     if (segment.ops.empty())
         return result;
@@ -433,6 +451,7 @@ DualModeAllocator::allocate(const SegmentView &segment) const
     };
 
     while (lo < hi) {
+        obs::count(obs::Met::kAllocBisectionIters);
         Cycles mid = lo + (hi - lo) / 2;
         bool fits;
         if (speculate) {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -41,13 +42,19 @@ CmSwitchCompiler::compileWithSchedule(const Graph &graph,
                       deha_.config().name);
 
     CompileResult result;
-    result.program = generateProgram(graph.name(), deha_, ops, schedule,
-                                     options_.segmenter.alloc.pipelined);
+    {
+        obs::ScopedPhase codegen(obs::Hist::kPhaseCodegen, "codegen",
+                                 "compiler");
+        codegen.arg("scheduled_ops", static_cast<s64>(ops.size()));
+        result.program = generateProgram(graph.name(), deha_, ops, schedule,
+                                         options_.segmenter.alloc.pipelined);
+    }
     result.latency = schedule.latency;
 
     auto t1 = std::chrono::steady_clock::now();
     result.compileSeconds =
         std::chrono::duration<double>(t1 - t0).count();
+    obs::recordSeconds(obs::Hist::kPhaseCompile, result.compileSeconds);
     if (schedule_out)
         *schedule_out = std::move(schedule);
     return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -75,6 +76,9 @@ std::vector<ScheduledOp>
 flattenGraph(const Graph &graph, const Deha &deha,
              const PartitionOptions &options)
 {
+    obs::ScopedPhase phase(obs::Hist::kPhasePartition, "partition.flatten",
+                           "compiler");
+    phase.arg("graph_ops", graph.numOps());
     s64 budget = options.maxTilesPerSubOp > 0 ? options.maxTilesPerSubOp
                                               : defaultTileBudget(deha);
     cmswitch_fatal_if(budget < 1, "tile budget must be >= 1");

@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 
@@ -272,9 +273,20 @@ Segmenter::run(const std::vector<ScheduledOp> &ops)
     for (const ScheduledOp &op : ops)
         opSig_.push_back(opSignature(op.work));
 
+    obs::ScopedPhase phase(obs::Hist::kPhaseSegment, "segmenter.run",
+                           "segmenter");
+    phase.arg("ops", static_cast<s64>(ops.size()));
+    const s64 hitsBefore = cacheHits_;
+    const s64 missesBefore = cacheMisses_;
+    ScheduleResult result;
     if (!options_.useDp)
-        return runGreedy(ops);
-    return options_.referenceSearch ? runDpReference(ops) : runDp(ops);
+        result = runGreedy(ops);
+    else
+        result = options_.referenceSearch ? runDpReference(ops)
+                                          : runDp(ops);
+    obs::count(obs::Met::kDpSigCacheHits, cacheHits_ - hitsBefore);
+    obs::count(obs::Met::kDpSigCacheMisses, cacheMisses_ - missesBefore);
+    return result;
 }
 
 ScheduleResult
@@ -509,6 +521,7 @@ Segmenter::runDp(const std::vector<ScheduledOp> &ops)
     std::vector<const SegmentAllocation *> miss_ptr;
 
     for (s64 i = 1; i <= n; ++i) {
+        obs::count(obs::Met::kDpBoundaries);
         if (pool == nullptr) {
             for (s64 k = min_start[static_cast<std::size_t>(i)]; k < i;
                  ++k) {
@@ -535,51 +548,65 @@ Segmenter::runDp(const std::vector<ScheduledOp> &ops)
         // count hits — batching the misses for Phase B.
         cands.clear();
         misses.clear();
-        for (s64 k = min_start[static_cast<std::size_t>(i)]; k < i; ++k) {
-            s64 range_key = k * (n + 1) + i;
-            if (const SegmentAllocation **found =
-                    rangeCache_.find(range_key)) {
-                ++cacheHits_;
-                cands.push_back(Candidate{k, *found, -1, kInfCycles, -1});
-                continue;
-            }
-            std::string sig = rangeSignature(ops, k, i);
-            auto it = cache_.find(sig);
-            if (it != cache_.end()) {
-                ++cacheHits_;
-                rangeCache_.insert(range_key, &it->second);
-                cands.push_back(
-                    Candidate{k, &it->second, -1, kInfCycles, -1});
-                continue;
-            }
-            s64 miss_slot = -1;
-            for (std::size_t m = 0; m < misses.size(); ++m) {
-                if (misses[m].sig == sig) {
-                    miss_slot = static_cast<s64>(m);
-                    break;
+        {
+            obs::Span spanA("dp.phase_a", "segmenter");
+            spanA.arg("boundary", i);
+            for (s64 k = min_start[static_cast<std::size_t>(i)]; k < i;
+                 ++k) {
+                s64 range_key = k * (n + 1) + i;
+                if (const SegmentAllocation **found =
+                        rangeCache_.find(range_key)) {
+                    ++cacheHits_;
+                    cands.push_back(
+                        Candidate{k, *found, -1, kInfCycles, -1});
+                    continue;
                 }
+                std::string sig = rangeSignature(ops, k, i);
+                auto it = cache_.find(sig);
+                if (it != cache_.end()) {
+                    ++cacheHits_;
+                    rangeCache_.insert(range_key, &it->second);
+                    cands.push_back(
+                        Candidate{k, &it->second, -1, kInfCycles, -1});
+                    continue;
+                }
+                s64 miss_slot = -1;
+                for (std::size_t m = 0; m < misses.size(); ++m) {
+                    if (misses[m].sig == sig) {
+                        miss_slot = static_cast<s64>(m);
+                        break;
+                    }
+                }
+                if (miss_slot < 0) {
+                    ++cacheMisses_;
+                    miss_slot = static_cast<s64>(misses.size());
+                    misses.push_back(Miss{std::move(sig), k, {}});
+                } else {
+                    ++cacheHits_;
+                }
+                cands.push_back(
+                    Candidate{k, nullptr, miss_slot, kInfCycles, -1});
             }
-            if (miss_slot < 0) {
-                ++cacheMisses_;
-                miss_slot = static_cast<s64>(misses.size());
-                misses.push_back(Miss{std::move(sig), k, {}});
-            } else {
-                ++cacheHits_;
-            }
-            cands.push_back(
-                Candidate{k, nullptr, miss_slot, kInfCycles, -1});
         }
 
         // Phase B: allocate the batched misses concurrently. Each
         // allocation sees the same segment view the serial first touch
         // would, and the allocator's own levers are thread-count
         // invariant, so the results match the serial search's.
-        pool->parallelFor(
-            static_cast<s64>(misses.size()), [&](s64 m) {
-                Miss &miss = misses[static_cast<std::size_t>(m)];
-                miss.result =
-                    allocator_.allocate(makeSegmentView(ops, miss.k, i));
-            });
+        {
+            obs::Span spanB("dp.phase_b", "segmenter");
+            spanB.arg("boundary", i);
+            spanB.arg("misses", static_cast<s64>(misses.size()));
+            pool->parallelFor(
+                static_cast<s64>(misses.size()), [&](s64 m) {
+                    Miss &miss = misses[static_cast<std::size_t>(m)];
+                    obs::Span missSpan("dp.alloc_miss", "segmenter");
+                    missSpan.arg("start", miss.k);
+                    missSpan.arg("end", i);
+                    miss.result = allocator_.allocate(
+                        makeSegmentView(ops, miss.k, i));
+                });
+        }
 
         // Phase B2 (serial, ascending k): publish into the caches.
         miss_ptr.assign(misses.size(), nullptr);
@@ -605,6 +632,9 @@ Segmenter::runDp(const std::vector<ScheduledOp> &ops)
         // Phase C: score candidates concurrently (reads only earlier
         // DP boundaries), then reduce in ascending-k order — the same
         // append order and strict-< tie-breaking as the serial loop.
+        obs::Span spanC("dp.phase_c", "segmenter");
+        spanC.arg("boundary", i);
+        spanC.arg("candidates", static_cast<s64>(cands.size()));
         pool->parallelFor(
             static_cast<s64>(cands.size()), [&](s64 c) {
                 Candidate &cand = cands[static_cast<std::size_t>(c)];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 #include "support/serialize.hpp"
 
@@ -169,11 +170,23 @@ foldReshapeChains(Graph *graph)
 PassStats
 runFrontendPasses(Graph *graph)
 {
-    PassStats total = foldReshapeChains(graph);
-    PassStats dead = eliminateDeadOps(graph);
+    obs::ScopedPhase phase(obs::Hist::kPhasePasses, "frontend_passes",
+                           "graph");
+    PassStats total;
+    {
+        obs::Span span("pass.fold_reshape_chains", "graph");
+        total = foldReshapeChains(graph);
+    }
+    PassStats dead;
+    {
+        obs::Span span("pass.eliminate_dead_ops", "graph");
+        dead = eliminateDeadOps(graph);
+    }
     total.removedOps += dead.removedOps;
     total.removedTensors += dead.removedTensors;
     graph->validate();
+    phase.arg("removed_ops", total.removedOps);
+    phase.arg("removed_tensors", total.removedTensors);
     return total;
 }
 

@@ -1,0 +1,80 @@
+#include "obs/obs.hpp"
+
+namespace cmswitch {
+namespace obs {
+
+namespace detail {
+
+std::atomic<u32> g_enableBits{0};
+std::atomic<MetricsRegistry *> g_metrics{nullptr};
+std::atomic<TraceRecorder *> g_trace{nullptr};
+
+} // namespace detail
+
+void
+install(MetricsRegistry *metrics, TraceRecorder *trace)
+{
+    // Pointers first (release), bits last: a site that observes a
+    // raised bit is guaranteed to see the matching pointer.
+    detail::g_metrics.store(metrics, std::memory_order_release);
+    detail::g_trace.store(trace, std::memory_order_release);
+    u32 bits = 0;
+    if (metrics != nullptr)
+        bits |= detail::kMetricsBit;
+    if (trace != nullptr)
+        bits |= detail::kTraceBit;
+    detail::g_enableBits.store(bits, std::memory_order_release);
+}
+
+void
+uninstall()
+{
+    detail::g_enableBits.store(0, std::memory_order_release);
+    detail::g_metrics.store(nullptr, std::memory_order_release);
+    detail::g_trace.store(nullptr, std::memory_order_release);
+}
+
+void
+Span::begin(TraceRecorder *recorder, const char *name, const char *cat)
+{
+    recorder_ = recorder;
+    event_.name = name;
+    event_.cat = cat;
+    event_.tsNanos = recorder->nowNanos();
+}
+
+void
+Span::end()
+{
+    event_.durNanos = recorder_->nowNanos() - event_.tsNanos;
+    recorder_->append(event_);
+}
+
+void
+ScopedPhase::begin(Hist h, const char *name, const char *cat)
+{
+    active_ = true;
+    hist_ = h;
+    recorder_ = trace();
+    event_.name = name;
+    event_.cat = cat;
+    start_ = std::chrono::steady_clock::now();
+    if (recorder_ != nullptr)
+        event_.tsNanos = recorder_->nowNanos();
+}
+
+void
+ScopedPhase::end()
+{
+    s64 durNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    recordSeconds(hist_, static_cast<double>(durNanos) * 1e-9);
+    if (recorder_ != nullptr) {
+        event_.durNanos = durNanos;
+        recorder_->append(event_);
+    }
+}
+
+} // namespace obs
+} // namespace cmswitch

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Global observability control plane: one enable word, two install
+ * pointers, and the RAII helpers every instrumentation site uses.
+ *
+ * The contract the bench gate holds us to: with observability disabled
+ * (the default), every instrumentation site costs exactly one relaxed
+ * atomic load and one predictable branch — no clock reads, no pointer
+ * chasing, no locks. Sites therefore test the packed enable bits
+ * first and only then take the acquire-ordered pointer load.
+ *
+ * install() publishes a registry and/or recorder with release stores
+ * and raises the matching bits last; uninstall() clears the bits first
+ * and the pointers after. Installation is process-global (it is a CLI
+ * session concept, like logging); the CLI installs before compiling
+ * and uninstalls before exporting, and tests that install their own
+ * instances do the same.
+ *
+ * Instrumentation never changes behavior: everything here observes,
+ * so plans are byte-identical with tracing on or off
+ * (segmenter_diff_test pins this).
+ */
+
+#ifndef CMSWITCH_OBS_OBS_HPP
+#define CMSWITCH_OBS_OBS_HPP
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cmswitch {
+namespace obs {
+
+namespace detail {
+
+constexpr u32 kMetricsBit = 1u << 0;
+constexpr u32 kTraceBit = 1u << 1;
+
+extern std::atomic<u32> g_enableBits;
+extern std::atomic<MetricsRegistry *> g_metrics;
+extern std::atomic<TraceRecorder *> g_trace;
+
+inline u32
+enableBits()
+{
+    return g_enableBits.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+/** Publish @p metrics / @p trace (either may be null) process-wide.
+ *  The caller keeps ownership and must uninstall() before destroying
+ *  them. Not meant to race with in-flight compiles. */
+void install(MetricsRegistry *metrics, TraceRecorder *trace);
+
+/** Clear the enable bits, then the pointers. */
+void uninstall();
+
+/** @{ Single-branch-when-disabled enable tests. */
+inline bool
+metricsEnabled()
+{
+    return (detail::enableBits() & detail::kMetricsBit) != 0;
+}
+
+inline bool
+tracingEnabled()
+{
+    return (detail::enableBits() & detail::kTraceBit) != 0;
+}
+
+inline bool
+enabled()
+{
+    return detail::enableBits() != 0;
+}
+/** @} */
+
+/** The installed registry/recorder; null while the bit is down. */
+inline MetricsRegistry *
+metrics()
+{
+    if (!metricsEnabled())
+        return nullptr;
+    return detail::g_metrics.load(std::memory_order_acquire);
+}
+
+inline TraceRecorder *
+trace()
+{
+    if (!tracingEnabled())
+        return nullptr;
+    return detail::g_trace.load(std::memory_order_acquire);
+}
+
+/** @{ Hot-path helpers: one branch, then straight to the instrument. */
+inline void
+count(Met m, s64 delta = 1)
+{
+    if (MetricsRegistry *registry = metrics())
+        registry->counter(m).add(delta);
+}
+
+inline void
+setGauge(Gau g, s64 value)
+{
+    if (MetricsRegistry *registry = metrics())
+        registry->gauge(g).set(value);
+}
+
+inline void
+recordSeconds(Hist h, double seconds)
+{
+    if (MetricsRegistry *registry = metrics())
+        registry->histogram(h).record(seconds);
+}
+/** @} */
+
+/**
+ * RAII trace span: one complete ('X') event from construction to
+ * destruction, on the calling thread's lane. Inert (one branch, no
+ * clock read) when tracing is off. Name/category/arg-name strings
+ * must outlive the recorder — use literals.
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *cat)
+    {
+        if (TraceRecorder *recorder = trace())
+            begin(recorder, name, cat);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span()
+    {
+        if (recorder_ != nullptr)
+            end();
+    }
+
+    /** Attach up to two integer args (later calls overwrite slot 2). */
+    void arg(const char *name, s64 value)
+    {
+        if (recorder_ == nullptr)
+            return;
+        int slot = event_.argName[0] == nullptr ? 0 : 1;
+        event_.argName[slot] = name;
+        event_.argValue[slot] = value;
+    }
+
+  private:
+    void begin(TraceRecorder *recorder, const char *name, const char *cat);
+    void end();
+
+    TraceRecorder *recorder_ = nullptr;
+    TraceEvent event_;
+};
+
+/**
+ * RAII phase scope: a Span plus a duration sample into the built-in
+ * histogram @p h, so one object gives a phase both its trace lane and
+ * its latency quantiles. Inert (one branch) when everything is off.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(Hist h, const char *name, const char *cat)
+    {
+        if (enabled())
+            begin(h, name, cat);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase()
+    {
+        if (active_)
+            end();
+    }
+
+    void arg(const char *name, s64 value)
+    {
+        if (!active_)
+            return;
+        int slot = event_.argName[0] == nullptr ? 0 : 1;
+        event_.argName[slot] = name;
+        event_.argValue[slot] = value;
+    }
+
+  private:
+    void begin(Hist h, const char *name, const char *cat);
+    void end();
+
+    bool active_ = false;
+    Hist hist_ = Hist::kCount;
+    TraceRecorder *recorder_ = nullptr; ///< null when only metrics are on
+    std::chrono::steady_clock::time_point start_;
+    TraceEvent event_;
+};
+
+} // namespace obs
+} // namespace cmswitch
+
+#endif // CMSWITCH_OBS_OBS_HPP

@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include "support/json.hpp"
+
+namespace cmswitch {
+namespace obs {
+
+namespace {
+
+/** Process-unique recorder ids: the thread-local buffer cache matches
+ *  on id, never on address, so a recorder allocated where a dead one
+ *  used to live cannot inherit a stale (dangling) buffer pointer. */
+std::atomic<u64> g_nextRecorderId{1};
+
+struct TlsBufferCache
+{
+    u64 recorderId = 0;
+    void *buffer = nullptr;
+};
+
+thread_local TlsBufferCache t_bufferCache;
+
+} // namespace
+
+TraceRecorder::TraceRecorder()
+    : t0_(std::chrono::steady_clock::now()),
+      id_(g_nextRecorderId.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+TraceRecorder::ThreadBuffer &
+TraceRecorder::threadBuffer()
+{
+    if (t_bufferCache.recorderId == id_)
+        return *static_cast<ThreadBuffer *>(t_bufferCache.buffer);
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = static_cast<s64>(buffers_.size()) + 1;
+    owned->name = "thread-" + std::to_string(owned->tid);
+    buffers_.push_back(std::move(owned));
+    ThreadBuffer &buffer = *buffers_.back();
+    t_bufferCache.recorderId = id_;
+    t_bufferCache.buffer = &buffer;
+    return buffer;
+}
+
+void
+TraceRecorder::append(const TraceEvent &event)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (static_cast<s64>(buffer.events.size()) >= kMaxEventsPerThread) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buffer.events.push_back(event);
+}
+
+void
+TraceRecorder::setThreadName(std::string name)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.name = std::move(name);
+}
+
+s64
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    s64 total = 0;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        total += static_cast<s64>(buffer->events.size());
+    }
+    return total;
+}
+
+void
+TraceRecorder::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        // Thread metadata first so viewers label the lane before any
+        // span lands in it.
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("name", "thread_name");
+        w.field("ts", s64{0});
+        w.field("pid", s64{1});
+        w.field("tid", buffer->tid);
+        w.key("args").beginObject().field("name", buffer->name).endObject();
+        w.endObject();
+        for (const TraceEvent &event : buffer->events) {
+            w.beginObject();
+            w.field("ph", "X");
+            w.field("name", event.name);
+            w.field("cat", event.cat ? event.cat : "cmswitch");
+            // Chrome expects microseconds; keep sub-microsecond
+            // resolution as a fractional part.
+            w.field("ts", static_cast<double>(event.tsNanos) / 1000.0);
+            w.field("dur", static_cast<double>(event.durNanos) / 1000.0);
+            w.field("pid", s64{1});
+            w.field("tid", buffer->tid);
+            if (event.argName[0] != nullptr) {
+                w.key("args").beginObject();
+                w.field(event.argName[0], event.argValue[0]);
+                if (event.argName[1] != nullptr)
+                    w.field(event.argName[1], event.argValue[1]);
+                w.endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.endObject();
+}
+
+std::string
+TraceRecorder::exportJson(int indent) const
+{
+    JsonWriter w(indent);
+    writeJson(w);
+    return w.str();
+}
+
+} // namespace obs
+} // namespace cmswitch

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Low-overhead phase tracing, exported as Chrome trace-event JSON.
+ *
+ * A TraceRecorder owns one event buffer per participating thread;
+ * threads register lazily on first append (a thread_local pointer
+ * caches the buffer, so steady-state appends touch only the calling
+ * thread's buffer under its own — uncontended — mutex). Buffers are
+ * heap-owned by the recorder, so export works after worker threads
+ * have joined, and tids are assigned in registration order, keeping
+ * them small and stable for a given schedule.
+ *
+ * Events carry static-string names/categories (no allocation on the
+ * record path) and up to two integer args. Timestamps are steady-clock
+ * nanoseconds relative to the recorder's construction; export converts
+ * to the microseconds Chrome's trace-event format expects, as complete
+ * ('X') events plus one 'M' thread_name metadata record per thread.
+ *
+ * Open the exported file directly in chrome://tracing or Perfetto.
+ */
+
+#ifndef CMSWITCH_OBS_TRACE_HPP
+#define CMSWITCH_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class JsonWriter;
+
+namespace obs {
+
+/** One complete span. Name/cat/arg names must be static strings. */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    s64 tsNanos = 0;
+    s64 durNanos = 0;
+    const char *argName[2] = {nullptr, nullptr};
+    s64 argValue[2] = {0, 0};
+};
+
+class TraceRecorder
+{
+  public:
+    /** Stop appending past this many events per thread (keep traces
+     *  openable); overruns are counted, not silently lost. */
+    static constexpr s64 kMaxEventsPerThread = s64{1} << 20;
+
+    TraceRecorder();
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Nanoseconds since this recorder's construction (the trace t0). */
+    s64 nowNanos() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - t0_)
+            .count();
+    }
+
+    /** Append a finished span from the calling thread. */
+    void append(const TraceEvent &event);
+
+    /** Label the calling thread in the exported trace (else thread-N). */
+    void setThreadName(std::string name);
+
+    /** Events dropped by the per-thread cap, across all threads. */
+    s64 droppedEvents() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Events currently buffered, across all threads. */
+    s64 eventCount() const;
+
+    /**
+     * The whole trace as one {"traceEvents": [...]} document. Event
+     * order is (tid, append order), so structure is deterministic for
+     * a deterministic schedule; ts/dur are wall-clock.
+     */
+    void writeJson(JsonWriter &w) const;
+    std::string exportJson(int indent = 1) const;
+
+  private:
+    struct ThreadBuffer
+    {
+        std::mutex mutex;
+        s64 tid = 0;
+        std::string name;
+        std::vector<TraceEvent> events;
+    };
+
+    ThreadBuffer &threadBuffer();
+
+    std::chrono::steady_clock::time_point t0_;
+    u64 id_; ///< process-unique, keys the thread-local buffer cache
+    std::atomic<s64> dropped_{0};
+
+    mutable std::mutex registryMutex_;
+    std::deque<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+} // namespace obs
+} // namespace cmswitch
+
+#endif // CMSWITCH_OBS_TRACE_HPP

@@ -280,7 +280,7 @@ verifyPlanCache(const CacheVerifyOptions &options)
 void
 CacheStatsReport::writeJson(JsonWriter &w) const
 {
-    // Distinct from the *sidecar's* envelope tag (cmswitch-cache-stats-v1,
+    // Distinct from the *sidecar's* envelope tag (cmswitch-cache-stats-v2,
     // a binary format): this is the JSON report, versioned independently.
     w.beginObject()
         .field("schema", "cmswitch-cache-stats-report-v1")
@@ -290,6 +290,7 @@ CacheStatsReport::writeJson(JsonWriter &w) const
         .field("misses", totals.misses)
         .field("stores", totals.stores)
         .field("rejected", totals.rejected)
+        .field("touch_failed", totals.touchFailed)
         .field("plan_files", planFiles)
         .field("plan_bytes", planBytes)
         .field("walk_error", walkError)

@@ -1,9 +1,12 @@
 #include "service/compile_service.hpp"
 
+#include <chrono>
+
 #include "arch/chip_parser.hpp"
 #include "baselines/baseline.hpp"
 #include "graph/passes.hpp"
 #include "graph/serialize.hpp"
+#include "obs/obs.hpp"
 #include "service/plan_fingerprint.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
@@ -40,6 +43,8 @@ compileArtifact(const CompileRequest &request)
 ArtifactPtr
 compileArtifact(const CompileRequest &request, std::string key)
 {
+    obs::Span span("compile_artifact", "service");
+    obs::count(obs::Met::kCompiles);
     auto artifact = std::make_shared<CompileArtifact>();
     artifact->key = std::move(key);
     artifact->chip = request.chip;
@@ -60,13 +65,26 @@ compileArtifact(const CompileRequest &request, std::string key)
     auto compiler = makeCompilerByName(request.compilerId, request.chip,
                                        /*referenceSearch=*/false,
                                        request.searchThreads);
-    artifact->result = compiler->compile(*graph);
+    {
+        obs::ScopedPhase backend(obs::Hist::kPhaseBackend,
+                                 "backend.compile", "service");
+        artifact->result = compiler->compile(*graph);
+    }
 
     Deha deha(request.chip);
-    artifact->validation = validateProgram(artifact->result.program, deha);
-    EnergyModel energy(deha, EnergyParams::forChip(request.chip));
-    artifact->energy = energy.price(artifact->result.program,
-                                    artifact->result.totalCycles());
+    {
+        obs::ScopedPhase validate(obs::Hist::kPhaseValidate, "validate",
+                                  "service");
+        artifact->validation =
+            validateProgram(artifact->result.program, deha);
+    }
+    {
+        obs::ScopedPhase price(obs::Hist::kPhaseEnergy, "energy.price",
+                               "service");
+        EnergyModel energy(deha, EnergyParams::forChip(request.chip));
+        artifact->energy = energy.price(artifact->result.program,
+                                        artifact->result.totalCycles());
+    }
     return artifact;
 }
 
@@ -142,8 +160,17 @@ CompileService::submit(CompileRequest request)
     request.searchThreads = options_.searchThreads;
     std::string key = requestKey(request); // hash before the move below
     std::packaged_task<ArtifactPtr()> task(
-        [this, request = std::move(request),
-         key = std::move(key)]() -> ArtifactPtr {
+        [this, request = std::move(request), key = std::move(key),
+         enqueued = std::chrono::steady_clock::now()]() -> ArtifactPtr {
+            if (obs::metricsEnabled()) {
+                obs::recordSeconds(
+                    obs::Hist::kServiceQueueWait,
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - enqueued)
+                        .count());
+            }
+            obs::ScopedPhase execute(obs::Hist::kServiceExecute,
+                                     "service.execute", "service");
             return lookup(request, key);
         });
     std::future<ArtifactPtr> future = task.get_future();
@@ -168,6 +195,8 @@ CompileService::compileNow(const CompileRequest &request)
     CompileRequest stamped = request;
     stamped.searchThreads = options_.searchThreads;
     std::string key = requestKey(stamped);
+    obs::ScopedPhase execute(obs::Hist::kServiceExecute, "service.execute",
+                             "service");
     return lookup(stamped, key);
 }
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/obs.hpp"
 #include "service/artifact_io.hpp"
 #include "service/stats_sidecar.hpp"
 #include "support/atomic_file.hpp"
@@ -45,7 +46,8 @@ DiskPlanCache::~DiskPlanCache()
         dirty = stats_.hits != flushed_.hits
              || stats_.misses != flushed_.misses
              || stats_.stores != flushed_.stores
-             || stats_.rejected != flushed_.rejected;
+             || stats_.rejected != flushed_.rejected
+             || stats_.touchFailed != flushed_.touchFailed;
     }
     // Nothing new since the last flush (e.g. batch mode flushed for its
     // summary moments ago): skip the sidecar I/O entirely.
@@ -62,17 +64,21 @@ DiskPlanCache::planPath(const std::string &key) const
 ArtifactPtr
 DiskPlanCache::load(const std::string &key)
 {
+    obs::Span span("disk_cache.load", "cache");
     std::string path = planPath(key);
     std::string error;
     bool missing = false;
     ArtifactPtr artifact = readPlanFile(path, key, &error, &missing);
     if (missing) { // absent: a plain miss, not a rejection
+        obs::count(obs::Met::kDiskCacheMisses);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
         return nullptr;
     }
     if (!artifact) {
         informVerbose("ignoring plan file ", path, ": ", error);
+        obs::count(obs::Met::kDiskCacheMisses);
+        obs::count(obs::Met::kDiskCacheRejected);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
         ++stats_.rejected;
@@ -88,6 +94,9 @@ DiskPlanCache::load(const std::string &key)
     if (ec)
         informVerbose("plan cache hit ", path,
                       " but mtime refresh failed: ", ec.message());
+    obs::count(obs::Met::kDiskCacheHits);
+    if (ec)
+        obs::count(obs::Met::kDiskCacheTouchFailed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
@@ -103,6 +112,7 @@ DiskPlanCache::store(const std::string &key, const ArtifactPtr &artifact)
     cmswitch_assert(artifact != nullptr, "cannot store a null artifact");
     cmswitch_assert(artifact->key == key,
                     "artifact key does not match store key");
+    obs::Span span("disk_cache.store", "cache");
     std::string image = serializeCompileArtifact(*artifact);
 
     // Temp-file + atomic-rename publication (support/atomic_file.hpp):
@@ -112,6 +122,7 @@ DiskPlanCache::store(const std::string &key, const ArtifactPtr &artifact)
     // contract.
     if (!publishFileAtomically(planPath(key), image))
         return;
+    obs::count(obs::Met::kDiskCacheStores);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
 }
@@ -144,10 +155,11 @@ DiskPlanCache::flushSidecar()
         delta.misses = stats_.misses - flushed_.misses;
         delta.stores = stats_.stores - flushed_.stores;
         delta.rejected = stats_.rejected - flushed_.rejected;
+        delta.touchFailed = stats_.touchFailed - flushed_.touchFailed;
         flushed_ = stats_;
     }
     if (delta.hits == 0 && delta.misses == 0 && delta.stores == 0
-        && delta.rejected == 0)
+        && delta.rejected == 0 && delta.touchFailed == 0)
         return readStatsSidecar(directory_);
     return mergeStatsSidecar(directory_, delta);
 }

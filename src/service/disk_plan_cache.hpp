@@ -48,8 +48,8 @@ struct DiskPlanCacheStats
                       ///< files ignored (each also counts as a miss)
     s64 touchFailed = 0; ///< hits whose LRU mtime refresh failed (e.g. a
                          ///< read-only cache dir); the hit still serves.
-                         ///< Per-process only — not in the sidecar, whose
-                         ///< v1 envelope carries the four totals above
+                         ///< Persisted in the v2 sidecar alongside the
+                         ///< four totals above (v1 files read as zero)
 
     /** Emit {"disk_hits", ...} fields into the currently open object. */
     void writeJsonFields(JsonWriter &w) const;

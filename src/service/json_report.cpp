@@ -1,11 +1,13 @@
 #include "service/json_report.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/json.hpp"
 
 namespace cmswitch {
 
 void
-writeCompileReport(JsonWriter &w, const CompileArtifact &artifact)
+writeCompileReport(JsonWriter &w, const CompileArtifact &artifact,
+                   const obs::MetricsRegistry *observability)
 {
     w.beginObject()
         .field("schema", kCompileReportSchema)
@@ -23,14 +25,19 @@ writeCompileReport(JsonWriter &w, const CompileArtifact &artifact)
     artifact.result.writeJson(w);
     w.key("energy");
     artifact.energy.writeJson(w);
+    if (observability != nullptr) {
+        w.key("observability");
+        observability->writeJson(w);
+    }
     w.endObject();
 }
 
 std::string
-renderCompileReport(const CompileArtifact &artifact)
+renderCompileReport(const CompileArtifact &artifact,
+                    const obs::MetricsRegistry *observability)
 {
     JsonWriter w;
-    writeCompileReport(w, artifact);
+    writeCompileReport(w, artifact, observability);
     return w.str();
 }
 

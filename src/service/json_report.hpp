@@ -11,6 +11,12 @@
  * count, machine load, or which run produced them. Wall-clock values
  * (compile seconds) therefore live only in the batch summary, never in
  * a report.
+ *
+ * The one opt-in exception: when the caller passes a MetricsRegistry
+ * (single-mode `--trace`/`--metrics` sessions), the report gains an
+ * "observability" object with the per-phase latency breakdown. That
+ * section carries timing and is intentionally absent from batch
+ * per-job reports, which stay byte-comparable across runs.
  */
 
 #ifndef CMSWITCH_SERVICE_JSON_REPORT_HPP
@@ -26,11 +32,22 @@ namespace cmswitch {
 inline constexpr const char *kCompileReportSchema =
     "cmswitch-compile-report-v1";
 
-/** Render @p artifact as an indented JSON document (trailing newline). */
-std::string renderCompileReport(const CompileArtifact &artifact);
+namespace obs {
+class MetricsRegistry;
+}
+
+/**
+ * Render @p artifact as an indented JSON document. When
+ * @p observability is non-null the report gains an "observability"
+ * object (full metrics snapshot: counters, gauges, phase quantiles).
+ */
+std::string renderCompileReport(const CompileArtifact &artifact,
+                                const obs::MetricsRegistry *observability =
+                                    nullptr);
 
 /** writeJson-style hook for embedding a report into a larger document. */
-void writeCompileReport(JsonWriter &w, const CompileArtifact &artifact);
+void writeCompileReport(JsonWriter &w, const CompileArtifact &artifact,
+                        const obs::MetricsRegistry *observability = nullptr);
 
 } // namespace cmswitch
 

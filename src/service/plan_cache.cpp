@@ -1,5 +1,6 @@
 #include "service/plan_cache.hpp"
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -21,11 +22,13 @@ PlanCache::getOrCompute(const std::string &key,
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.hits;
+            obs::count(obs::Met::kPlanCacheHits);
             if (it->second.ready)
                 lru_.splice(lru_.end(), lru_, it->second.lruPos);
             shared = it->second.future;
         } else {
             ++stats_.misses;
+            obs::count(obs::Met::kPlanCacheMisses);
             owner = true;
             shared = promise.get_future().share();
             Entry entry;
@@ -68,6 +71,7 @@ PlanCache::evictOverCapacity()
         entries_.erase(lru_.front());
         lru_.pop_front();
         ++stats_.evictions;
+        obs::count(obs::Met::kPlanCacheEvictions);
     }
 }
 

@@ -27,12 +27,19 @@ readStatsSidecar(const std::string &directory, bool *present)
     if (!readFileBytes(statsSidecarPath(directory), &data))
         return totals;
 
+    // Current (v2) envelope first; fall back to the v1 layout so a
+    // sidecar written by an older build keeps its totals (touchFailed
+    // starts at zero).
+    bool isV2 = true;
     std::string_view payload;
     std::string error;
     if (!unwrapEnvelope(kStatsSidecarTag, data, &payload, &error)) {
-        informVerbose("ignoring damaged stats sidecar in ", directory, ": ",
-                      error);
-        return totals;
+        isV2 = false;
+        if (!unwrapEnvelope(kStatsSidecarTagV1, data, &payload, &error)) {
+            informVerbose("ignoring damaged stats sidecar in ", directory,
+                          ": ", error);
+            return totals;
+        }
     }
     try {
         BinaryReader r(payload);
@@ -40,6 +47,8 @@ readStatsSidecar(const std::string &directory, bool *present)
         totals.misses = r.readS64();
         totals.stores = r.readS64();
         totals.rejected = r.readS64();
+        if (isV2)
+            totals.touchFailed = r.readS64();
         r.expectEnd();
     } catch (const std::exception &e) {
         informVerbose("ignoring damaged stats sidecar in ", directory, ": ",
@@ -60,12 +69,14 @@ mergeStatsSidecar(const std::string &directory,
     totals.misses += delta.misses;
     totals.stores += delta.stores;
     totals.rejected += delta.rejected;
+    totals.touchFailed += delta.touchFailed;
 
     BinaryWriter payload;
     payload.writeS64(totals.hits)
         .writeS64(totals.misses)
         .writeS64(totals.stores)
-        .writeS64(totals.rejected);
+        .writeS64(totals.rejected)
+        .writeS64(totals.touchFailed);
     std::string image = wrapEnvelope(kStatsSidecarTag, payload.bytes());
 
     // Same temp-file + atomic-rename publication as plan artifacts

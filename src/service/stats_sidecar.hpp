@@ -9,8 +9,11 @@
  * destroyed (or on an explicit flush), using the same tmp-file +
  * atomic-rename publication protocol as plan artifacts: a reader never
  * sees a torn sidecar. The file is a wrapEnvelope() document
- * (`cmswitch-cache-stats-v1` tag + length + FNV-1a digest) over four
- * little-endian s64 totals.
+ * (`cmswitch-cache-stats-v2` tag + length + FNV-1a digest) over five
+ * little-endian s64 totals (hits, misses, stores, rejected,
+ * touchFailed). Writers always publish v2; readers also accept the
+ * four-total v1 layout written by older builds (touchFailed reads as
+ * zero) so a shared cache directory upgrades in place.
  *
  * Accuracy contract: the read-modify-write merge is not transactional
  * across processes — two processes flushing at the same instant can
@@ -34,8 +37,12 @@ namespace cmswitch {
 /** File name of the stats sidecar inside a cache directory. */
 inline constexpr std::string_view kStatsSidecarName = "cache-stats.sidecar";
 
-/** Format tag of the sidecar envelope (wrapEnvelope document). */
+/** Format tag written by this build (wrapEnvelope document). */
 inline constexpr std::string_view kStatsSidecarTag =
+    "cmswitch-cache-stats-v2\n";
+
+/** Legacy four-total layout; still readable, never written. */
+inline constexpr std::string_view kStatsSidecarTagV1 =
     "cmswitch-cache-stats-v1\n";
 
 /** `<directory>/cache-stats.sidecar`. */

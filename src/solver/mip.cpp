@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 #include "support/task_pool.hpp"
 
@@ -160,8 +161,22 @@ drainBnb(const LinearModel &model, const MipOptions &options, double dir,
 
 } // namespace
 
+static MipResult solveMipImpl(const LinearModel &model,
+                              const MipOptions &options);
+
 MipResult
 solveMip(const LinearModel &model, const MipOptions &options)
+{
+    obs::Span span("mip.solve", "solver");
+    MipResult result = solveMipImpl(model, options);
+    span.arg("nodes", result.nodesExplored);
+    obs::count(obs::Met::kMipSolves);
+    obs::count(obs::Met::kMipNodes, result.nodesExplored);
+    return result;
+}
+
+static MipResult
+solveMipImpl(const LinearModel &model, const MipOptions &options)
 {
     const double dir = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "support/logging.hpp"
 
 namespace cmswitch {
@@ -119,6 +120,7 @@ solveStatusName(SolveStatus status)
 LpSolution
 solveLp(const LinearModel &model, LpWarmStart *warm)
 {
+    obs::count(obs::Met::kLpSolves);
     const s64 n = model.numVars();
 
     // Shift every variable to lower bound 0; upper bounds become rows.
@@ -273,6 +275,9 @@ solveLp(const LinearModel &model, LpWarmStart *warm)
             }
         }
     }
+    if (warm != nullptr && warm->compatible(m, total_cols))
+        obs::count(warm_loaded ? obs::Met::kLpWarmHits
+                               : obs::Met::kLpWarmMisses);
 
     // Phase 1: minimise the sum of artificials.
     t.obj.assign(static_cast<std::size_t>(total_cols) + 1, 0.0);

@@ -8,6 +8,8 @@
  *                                     thread-pooled compile service
  *   cmswitchc cache <gc|stats|verify> lifecycle maintenance of a
  *                                     --cache-dir plan directory
+ *   cmswitchc fingerprint             plan fingerprint + algorithm
+ *                                     revision table as JSON
  *
  * Flags, defaults and examples live in one place: the kUsage text
  * below, printed by `cmswitchc --help`. Running without arguments
@@ -24,6 +26,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -34,6 +37,10 @@
 #include "graph/serialize.hpp"
 #include "metaop/printer.hpp"
 #include "metaop/validator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "service/artifact_io.hpp"
 #include "service/cache_maintenance.hpp"
 #include "service/compile_service.hpp"
 #include "service/disk_plan_cache.hpp"
@@ -56,6 +63,7 @@ const char kUsage[] =
     R"(usage: cmswitchc --model <zoo-name | file.graph> [options]
        cmswitchc batch --jobs <file> --out-dir <dir> [batch options]
        cmswitchc cache <gc|stats|verify> --cache-dir <dir> [cache options]
+       cmswitchc fingerprint
 
 Compile a DNN for a dual-mode CIM chip and report the schedule.
 
@@ -85,8 +93,18 @@ Options:
                       value, so this only changes compile time — and
                       cached plans are shared across values
   --stats             print the latency/energy breakdown only
+  --trace FILE        record the compile pipeline (frontend passes,
+                      segmenter DP phases, allocator probes, solver
+                      calls, cache lookups) and write a Chrome
+                      trace-event JSON to FILE; open it in
+                      chrome://tracing or https://ui.perfetto.dev.
+                      Plans are byte-identical with or without tracing
+  --metrics FILE      write a JSON metrics snapshot (counters, gauges
+                      and per-phase latency quantiles) to FILE.
+                      --trace/--metrics also add an "observability"
+                      section to --emit-json reports
   --help              print this message and exit
-  --version           print the version and exit
+  --version           print version + plan fingerprint and exit
 
 Batch mode compiles one job per line of the jobs file (each line is a
 list of the single-mode flags above; '#' starts a comment) through a
@@ -102,6 +120,9 @@ report per job plus an aggregate summary:
   --search-threads N     plan-search threads inside each compile
                          (default 1; batch-level, not per job —
                          deterministic, see single-mode flag above)
+  --trace FILE           one Chrome trace-event JSON covering every
+                         job; service workers and search-pool threads
+                         appear as separate trace threads
 
 Cache mode maintains a --cache-dir populated by earlier runs; every
 verb prints a JSON report to stdout:
@@ -122,10 +143,16 @@ verb prints a JSON report to stdout:
                          embedded key; --delete removes damaged files;
                          exits 1 when damaged files remain
 
+Fingerprint mode prints the build's plan fingerprint — the digest that
+keys --cache-dir compatibility — plus the per-pass algorithm revision
+table behind it, as JSON on stdout:
+  cmswitchc fingerprint
+
 Examples:
   cmswitchc --model opt-6.7b --decode 512 --layers 2 --stats
   cmswitchc --model vgg16 --compiler cim-mlc --out vgg16.cmprog
   cmswitchc --model resnet18 --emit-json resnet18.json --stats
+  cmswitchc --model bert-base --stats --trace bert.trace.json
   cmswitchc batch --jobs jobs.txt --threads 4 --out-dir reports/
   cmswitchc cache gc --cache-dir plans/ --max-bytes 104857600
 )";
@@ -151,6 +178,8 @@ struct CliArgs
     std::string outFile;
     std::string emitJson;
     std::string cacheDir;
+    std::string traceFile;
+    std::string metricsFile;
     s64 searchThreads = 1;
     bool statsOnly = false;
     bool optimize = false;
@@ -244,6 +273,10 @@ parseFlags(const std::vector<std::string> &tokens, const std::string &context)
             args.emitJson = next();
         else if (flag == "--cache-dir")
             args.cacheDir = next();
+        else if (flag == "--trace")
+            args.traceFile = next();
+        else if (flag == "--metrics")
+            args.metricsFile = next();
         else if (flag == "--search-threads")
             args.searchThreads = nextInt(1);
         else if (flag == "--stats")
@@ -254,7 +287,9 @@ parseFlags(const std::vector<std::string> &tokens, const std::string &context)
             std::cout << kUsage;
             std::exit(0);
         } else if (flag == "--version" && context.empty()) {
-            std::cout << "cmswitchc " << CMSWITCH_VERSION << "\n";
+            std::cout << "cmswitchc " << CMSWITCH_VERSION << "\n"
+                      << "plan fingerprint " << buildFingerprintHex()
+                      << "\n";
             std::exit(0);
         } else {
             usageError(where("unknown flag '" + flag + "'"));
@@ -348,10 +383,63 @@ sanitizeToken(const std::string &text)
     return out.empty() ? "job" : out;
 }
 
+/**
+ * Owns a --trace/--metrics observability session: installs the
+ * registry/recorder pair into the process-wide obs hooks for the
+ * duration of the compile, then writes the requested files. When
+ * neither flag is given nothing is installed and every obs:: call in
+ * the pipeline stays a single disabled-branch.
+ */
+struct ObsSession
+{
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<obs::TraceRecorder> recorder;
+
+    void start(const std::string &trace_file,
+               const std::string &metrics_file)
+    {
+        if (trace_file.empty() && metrics_file.empty())
+            return;
+        registry = std::make_unique<obs::MetricsRegistry>();
+        if (!trace_file.empty()) {
+            recorder = std::make_unique<obs::TraceRecorder>();
+            recorder->setThreadName("main");
+        }
+        obs::install(registry.get(), recorder.get());
+    }
+
+    /** Uninstall and write the output files; safe to call when start()
+     *  was a no-op. Must run before the recorder/registry die. */
+    void finish(const std::string &trace_file,
+                const std::string &metrics_file)
+    {
+        if (!registry)
+            return;
+        obs::uninstall();
+        if (recorder) {
+            writeTextFile(trace_file, recorder->exportJson());
+            std::cerr << "cmswitchc: trace written to " << trace_file
+                      << " (" << recorder->eventCount() << " event(s)";
+            if (recorder->droppedEvents() > 0)
+                std::cerr << ", " << recorder->droppedEvents()
+                          << " dropped";
+            std::cerr << ")\n";
+        }
+        if (!metrics_file.empty()) {
+            writeTextFile(metrics_file, registry->snapshotJson());
+            std::cerr << "cmswitchc: metrics written to " << metrics_file
+                      << "\n";
+        }
+    }
+};
+
 int
 singleMain(int argc, char **argv)
 {
     CliArgs args = parseCli(argc, argv);
+    ObsSession session;
+    session.start(args.traceFile, args.metricsFile);
+    obs::setGauge(obs::Gau::kSearchThreads, args.searchThreads);
 
     // The passes run inside compileArtifact (driven by request.optimize)
     // so a single-mode compile and the identical batch job line hash to
@@ -405,8 +493,15 @@ singleMain(int argc, char **argv)
     std::cerr << "cmswitchc: estimated energy "
               << formatDouble(artifact->energy.totalUj(), 2) << " uJ\n";
 
+    // The compile is over: stop recording before rendering reports so
+    // the trace/metrics files and the --emit-json observability section
+    // all see the same final snapshot.
+    session.finish(args.traceFile, args.metricsFile);
+
     if (!args.emitJson.empty()) {
-        writeTextFile(args.emitJson, renderCompileReport(*artifact));
+        writeTextFile(args.emitJson,
+                      renderCompileReport(*artifact,
+                                          session.registry.get()));
         std::cerr << "cmswitchc: report written to " << args.emitJson
                   << "\n";
     }
@@ -509,6 +604,7 @@ struct BatchArgs
     std::string outDir;
     std::string summaryFile;
     std::string cacheDir;
+    std::string traceFile;
     s64 threads = 1;
     s64 cacheCapacity = 256;
     s64 searchThreads = 1;
@@ -542,6 +638,8 @@ parseBatchArgs(int argc, char **argv)
             args.cacheDir = next();
         else if (flag == "--search-threads")
             args.searchThreads = nextInt(1);
+        else if (flag == "--trace")
+            args.traceFile = next();
         else if (flag == "--help") {
             std::cout << kUsage;
             std::exit(0);
@@ -584,11 +682,12 @@ parseJobs(const BatchArgs &batch)
         CliArgs args = parseFlags(tokens, context);
         if (!args.outFile.empty() || !args.emitJson.empty()
             || !args.cacheDir.empty() || args.statsOnly
-            || args.searchThreads != 1) {
+            || args.searchThreads != 1 || !args.traceFile.empty()
+            || !args.metricsFile.empty()) {
             usageError(context + ": --out/--emit-json/--cache-dir/--stats/"
-                       "--search-threads are not valid in batch jobs "
-                       "(reports go to --out-dir; the cache and search "
-                       "width are batch-level)");
+                       "--search-threads/--trace/--metrics are not valid "
+                       "in batch jobs (reports go to --out-dir; the "
+                       "cache, search width and trace are batch-level)");
         }
 
         BatchJob job;
@@ -627,6 +726,19 @@ batchMain(int argc, char **argv)
     std::vector<BatchJob> jobs = parseJobs(batch);
     std::filesystem::create_directories(batch.outDir);
 
+    // Metrics are always on in batch mode — the summary's latency
+    // quantiles come from them. Declared before the service so workers
+    // never outlive the registry; tracing stays opt-in (--trace).
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!batch.traceFile.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>();
+        recorder->setThreadName("main");
+    }
+    obs::install(&registry, recorder.get());
+    obs::setGauge(obs::Gau::kServiceThreads, batch.threads);
+    obs::setGauge(obs::Gau::kSearchThreads, batch.searchThreads);
+
     auto t0 = std::chrono::steady_clock::now();
     CompileService service({.threads = batch.threads,
                             .cacheCapacity = batch.cacheCapacity,
@@ -658,6 +770,19 @@ batchMain(int argc, char **argv)
     auto t1 = std::chrono::steady_clock::now();
     double wall = std::chrono::duration<double>(t1 - t0).count();
 
+    // Every future is drained, so the workers are idle: stop observing
+    // before reading the registry for the summary. Late stragglers
+    // (none expected) would see the disabled branch, not a torn write.
+    obs::uninstall();
+    if (recorder) {
+        writeTextFile(batch.traceFile, recorder->exportJson());
+        std::cerr << "cmswitchc: trace written to " << batch.traceFile
+                  << " (" << recorder->eventCount() << " event(s)";
+        if (recorder->droppedEvents() > 0)
+            std::cerr << ", " << recorder->droppedEvents() << " dropped";
+        std::cerr << ")\n";
+    }
+
     CompileServiceStats stats = service.stats();
     // Lifetime totals across every process that ever used this
     // --cache-dir: flush this run's deltas into the sidecar now (the
@@ -667,7 +792,7 @@ batchMain(int argc, char **argv)
         sidecar = service.diskCache()->flushSidecar();
     JsonWriter w;
     w.beginObject()
-        .field("schema", "cmswitch-batch-summary-v3")
+        .field("schema", "cmswitch-batch-summary-v4")
         .field("jobs", static_cast<s64>(jobs.size()))
         .field("threads", batch.threads)
         .field("search_threads", batch.searchThreads)
@@ -689,8 +814,22 @@ batchMain(int argc, char **argv)
     w.field("sidecar_hits", sidecar.hits)
         .field("sidecar_misses", sidecar.misses)
         .field("sidecar_stores", sidecar.stores)
-        .field("sidecar_rejected", sidecar.rejected);
+        .field("sidecar_rejected", sidecar.rejected)
+        .field("sidecar_touch_failed", sidecar.touchFailed);
     w.endObject();
+    // v4: compile-latency quantiles (p50/p90/p95/p99 from the log
+    // histograms) plus the full metrics snapshot — the timing half of
+    // the summary, intentionally not byte-stable across runs.
+    w.key("latency").beginObject();
+    w.key("compile_seconds");
+    registry.histogram(obs::Hist::kPhaseCompile).writeJson(w);
+    w.key("execute_seconds");
+    registry.histogram(obs::Hist::kServiceExecute).writeJson(w);
+    w.key("queue_wait_seconds");
+    registry.histogram(obs::Hist::kServiceQueueWait).writeJson(w);
+    w.endObject();
+    w.key("metrics");
+    registry.writeJson(w);
     w.key("job_reports").beginArray();
     for (std::size_t k = 0; k < jobs.size(); ++k) {
         w.beginObject()
@@ -800,6 +939,42 @@ cacheMain(int argc, char **argv)
     return report.clean() ? 0 : 1;
 }
 
+/** `cmswitchc fingerprint`: the plan-fingerprint digest that keys
+ *  --cache-dir compatibility, plus the algorithm-revision table it
+ *  hashes, as JSON on stdout — so scripts can tell whether two builds
+ *  share plan caches without compiling anything. */
+int
+fingerprintMain(int argc, char **argv)
+{
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help") {
+            std::cout << kUsage;
+            return 0;
+        }
+        usageError("unknown fingerprint flag '" + flag + "'");
+    }
+    std::string plan_format(kPlanFormatTag);
+    if (!plan_format.empty() && plan_format.back() == '\n')
+        plan_format.pop_back();
+    JsonWriter w;
+    w.beginObject()
+        .field("schema", "cmswitch-fingerprint-v1")
+        .field("version", CMSWITCH_VERSION)
+        .field("fingerprint", buildFingerprintHex())
+        .field("plan_format", plan_format);
+    w.key("algorithm_revisions").beginArray();
+    for (const AlgorithmRevision &rev : algorithmRevisions()) {
+        w.beginObject()
+            .field("pass", rev.pass)
+            .field("revision", rev.revision)
+            .endObject();
+    }
+    w.endArray().endObject();
+    std::cout << w.str() << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -809,6 +984,8 @@ cliMain(int argc, char **argv)
         return batchMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "cache")
         return cacheMain(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "fingerprint")
+        return fingerprintMain(argc, argv);
     return singleMain(argc, argv);
 }
 

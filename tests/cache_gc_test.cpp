@@ -30,7 +30,9 @@
 #include "service/disk_plan_cache.hpp"
 #include "service/plan_fingerprint.hpp"
 #include "service/stats_sidecar.hpp"
+#include "support/atomic_file.hpp"
 #include "support/json.hpp"
+#include "support/serialize.hpp"
 
 namespace cmswitch {
 namespace {
@@ -343,6 +345,73 @@ TEST(StatsSidecar, DamagedSidecarReadsAsZeroAndIsRewritten)
     totals = readStatsSidecar(dir.str(), &present);
     EXPECT_TRUE(present);
     EXPECT_EQ(totals.hits, 5);
+}
+
+TEST(StatsSidecar, V2RoundtripsTouchFailed)
+{
+    ScratchDir dir("sidecar_v2");
+    DiskPlanCacheStats delta;
+    delta.hits = 2;
+    delta.touchFailed = 3;
+    mergeStatsSidecar(dir.str(), delta);
+
+    bool present = false;
+    DiskPlanCacheStats totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_TRUE(present);
+    EXPECT_EQ(totals.hits, 2);
+    EXPECT_EQ(totals.touchFailed, 3);
+
+    // Merges accumulate the fifth counter like the first four.
+    DiskPlanCacheStats more;
+    more.touchFailed = 4;
+    totals = mergeStatsSidecar(dir.str(), more);
+    EXPECT_EQ(totals.touchFailed, 7);
+
+    // And `cache stats` surfaces it in the JSON report.
+    CacheStatsReport report = statsPlanCache(dir.str());
+    JsonWriter w;
+    report.writeJson(w);
+    EXPECT_NE(w.str().find("\"touch_failed\": 7"), std::string::npos)
+        << w.str();
+}
+
+TEST(StatsSidecar, ReadsV1FormatAndUpgradesOnMerge)
+{
+    ScratchDir dir("sidecar_v1");
+    // A sidecar as an older build wrote it: the v1 tag, four counters.
+    BinaryWriter payload;
+    payload.writeS64(10).writeS64(20).writeS64(30).writeS64(40);
+    std::ofstream(statsSidecarPath(dir.str()), std::ios::binary)
+        << wrapEnvelope(kStatsSidecarTagV1, payload.bytes());
+
+    bool present = false;
+    DiskPlanCacheStats totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_TRUE(present);
+    EXPECT_EQ(totals.hits, 10);
+    EXPECT_EQ(totals.misses, 20);
+    EXPECT_EQ(totals.stores, 30);
+    EXPECT_EQ(totals.rejected, 40);
+    EXPECT_EQ(totals.touchFailed, 0); // v1 has no fifth counter
+
+    // The first merge preserves the v1 totals and rewrites the file in
+    // the v2 envelope.
+    DiskPlanCacheStats delta;
+    delta.hits = 1;
+    delta.touchFailed = 2;
+    totals = mergeStatsSidecar(dir.str(), delta);
+    EXPECT_EQ(totals.hits, 11);
+    EXPECT_EQ(totals.rejected, 40);
+    EXPECT_EQ(totals.touchFailed, 2);
+
+    std::string data;
+    ASSERT_TRUE(readFileBytes(statsSidecarPath(dir.str()), &data));
+    std::string_view upgraded;
+    std::string error;
+    EXPECT_TRUE(unwrapEnvelope(kStatsSidecarTag, data, &upgraded, &error))
+        << error;
+    totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_TRUE(present);
+    EXPECT_EQ(totals.touchFailed, 2);
 }
 
 TEST(PlanFingerprint, RevisionBumpChangesAndRevertRestoresTheDigest)

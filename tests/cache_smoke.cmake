@@ -11,7 +11,7 @@
 #      (serial) then warm (4 threads) over a shared --cache-dir: the
 #      warm pass compiles nothing (every unique key is a disk hit),
 #      every per-job report is byte-identical to the cold serial run,
-#      and the v3 summaries carry matching sidecar/fingerprint fields;
+#      and the v4 summaries carry matching sidecar/fingerprint fields;
 #   4b. the parallel plan search swept across real processes: a cold
 #      batch at --search-threads 8 (own cache dir, so all 48 cells
 #      really compile through the parallel search) must byte-match
@@ -210,11 +210,11 @@ endfunction()
 
 # Cold pass: nothing on disk yet -> every unique key misses disk and is
 # stored; warm pass: every unique key is served from disk, zero stores.
-# The v3 summaries also carry the cross-process sidecar totals (cold
+# The v4 summaries also carry the cross-process sidecar totals (cold
 # flushed before its summary, warm sees cold's flush plus its own) and
 # the build fingerprint every process of this build agrees on.
 file(READ ${WORK_DIR}/cold-serial/summary.json cold_summary)
-expect_summary("${cold_summary}" cmswitch-batch-summary-v3 schema)
+expect_summary("${cold_summary}" cmswitch-batch-summary-v4 schema)
 expect_summary("${cold_summary}" ${job_count} jobs)
 expect_summary("${cold_summary}" 0 invalid_jobs)
 expect_summary("${cold_summary}" ${job_count} cache disk_misses)
@@ -223,7 +223,13 @@ expect_summary("${cold_summary}" 0 cache disk_hits)
 expect_summary("${cold_summary}" 0 cache sidecar_hits)
 expect_summary("${cold_summary}" ${job_count} cache sidecar_misses)
 expect_summary("${cold_summary}" ${job_count} cache sidecar_stores)
+expect_summary("${cold_summary}" 0 cache sidecar_touch_failed)
 expect_summary("${cold_summary}" ${build_fingerprint} cache fingerprint)
+# v4: the latency section's deterministic halves — every cold job
+# compiled (one kPhaseCompile sample each), every job executed.
+expect_summary("${cold_summary}" ${job_count} latency compile_seconds count)
+expect_summary("${cold_summary}" ${job_count} latency execute_seconds count)
+expect_summary("${cold_summary}" ${job_count} latency queue_wait_seconds count)
 
 file(READ ${WORK_DIR}/warm-mt/summary.json warm_summary)
 expect_summary("${warm_summary}" 0 invalid_jobs)
@@ -235,6 +241,9 @@ expect_summary("${warm_summary}" ${job_count} cache sidecar_hits)
 expect_summary("${warm_summary}" ${job_count} cache sidecar_misses)
 expect_summary("${warm_summary}" ${job_count} cache sidecar_stores)
 expect_summary("${warm_summary}" ${build_fingerprint} cache fingerprint)
+# Warm pass serves every job from disk: zero compiles, full executes.
+expect_summary("${warm_summary}" 0 latency compile_seconds count)
+expect_summary("${warm_summary}" ${job_count} latency execute_seconds count)
 
 # Warm multi-threaded reports must be byte-identical to cold serial.
 file(GLOB reports RELATIVE ${WORK_DIR}/cold-serial

@@ -16,12 +16,18 @@
  * also be byte-identical to the serial fast path — the determinism
  * contract behind `cmswitchc --search-threads` and the service's
  * thread-invariant request keys.
+ *
+ * A final pass recompiles with full observability installed (metrics
+ * registry + trace recorder): instrumentation observes, never steers,
+ * so the plan must again be byte-identical — the `--trace`/`--metrics`
+ * flags can never change what the compiler emits.
  */
 
 #include <gtest/gtest.h>
 
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "scenario_util.hpp"
 #include "support/serialize.hpp"
 
@@ -91,6 +97,29 @@ TEST_P(SearchDiff, FastAndReferenceSearchProduceIdenticalPlans)
             << ": serialized plans diverge at byte "
             << firstDifference(parallel_bytes, fast_bytes) << " of "
             << fast_bytes.size();
+    }
+
+    // Observability sweep: a compile with metrics + tracing installed
+    // (and the parallel search active, so the instrumented DP phases
+    // and pool threads all run) must still produce the fast plan byte
+    // for byte. This is the --trace/--metrics "observe, never steer"
+    // contract.
+    {
+        obs::MetricsRegistry registry;
+        obs::TraceRecorder recorder;
+        obs::install(&registry, &recorder);
+        auto observed = makeCompilerByName(compiler_name, chip,
+                                           /*referenceSearch=*/false,
+                                           /*searchThreads=*/2);
+        std::string observed_bytes = serializedPlan(*observed, graph);
+        obs::uninstall();
+        EXPECT_TRUE(observed_bytes == fast_bytes)
+            << compiler_name << " on " << workload_name << "@" << chip_name
+            << " with observability installed: serialized plans diverge "
+            << "at byte " << firstDifference(observed_bytes, fast_bytes)
+            << " of " << fast_bytes.size();
+        EXPECT_GT(recorder.eventCount(), 0);
+        EXPECT_GT(registry.histogram(obs::Hist::kPhaseSegment).count(), 0);
     }
 }
 
