@@ -218,6 +218,16 @@ metName(Met m)
     case Met::kDpBoundaries: return "dp.boundaries";
     case Met::kDpSigCacheHits: return "dp.sig_cache_hits";
     case Met::kDpSigCacheMisses: return "dp.sig_cache_misses";
+    case Met::kIncrementalDpRowsReused:
+        return "incremental.dp_rows_reused";
+    case Met::kIncrementalNeighborHits:
+        return "incremental.neighbor_hits";
+    case Met::kIncrementalNeighborMisses:
+        return "incremental.neighbor_misses";
+    case Met::kIncrementalNeighborPartials:
+        return "incremental.neighbor_partials";
+    case Met::kIncrementalSigImports:
+        return "incremental.sig_imports";
     case Met::kLpSolves: return "lp.solves";
     case Met::kLpWarmHits: return "lp.warm_hits";
     case Met::kLpWarmMisses: return "lp.warm_misses";

@@ -140,6 +140,11 @@ enum class Met : u32 {
     kDpBoundaries,
     kDpSigCacheHits,
     kDpSigCacheMisses,
+    kIncrementalDpRowsReused,
+    kIncrementalNeighborHits,
+    kIncrementalNeighborMisses,
+    kIncrementalNeighborPartials,
+    kIncrementalSigImports,
     kLpSolves,
     kLpWarmHits,
     kLpWarmMisses,

@@ -7,6 +7,7 @@
 #include "graph/passes.hpp"
 #include "graph/serialize.hpp"
 #include "obs/obs.hpp"
+#include "service/incremental/incremental_compile.hpp"
 #include "service/plan_fingerprint.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
@@ -43,6 +44,13 @@ compileArtifact(const CompileRequest &request)
 ArtifactPtr
 compileArtifact(const CompileRequest &request, std::string key)
 {
+    return compileArtifact(request, std::move(key), nullptr);
+}
+
+ArtifactPtr
+compileArtifact(const CompileRequest &request, std::string key,
+                WarmCompileContext *warm)
+{
     obs::Span span("compile_artifact", "service");
     obs::count(obs::Met::kCompiles);
     auto artifact = std::make_shared<CompileArtifact>();
@@ -68,7 +76,12 @@ compileArtifact(const CompileRequest &request, std::string key)
     {
         obs::ScopedPhase backend(obs::Hist::kPhaseBackend,
                                  "backend.compile", "service");
-        artifact->result = compiler->compile(*graph);
+        if (warm) {
+            artifact->result = compiler->compileWarm(
+                *graph, warm->neighbor, &warm->retained, &warm->stats);
+        } else {
+            artifact->result = compiler->compile(*graph);
+        }
     }
 
     Deha deha(request.chip);
@@ -108,8 +121,10 @@ CompileService::CompileService(CompileServiceOptions options)
     : options_(validatedServiceOptions(std::move(options))),
       cache_(options_.cacheCapacity)
 {
-    if (!options_.cacheDir.empty())
+    if (!options_.cacheDir.empty()) {
         disk_ = std::make_unique<DiskPlanCache>(options_.cacheDir);
+        warmStore_ = std::make_unique<WarmStateStore>(options_.cacheDir);
+    }
     workers_.reserve(static_cast<std::size_t>(options_.threads));
     for (s64 i = 0; i < options_.threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -147,7 +162,15 @@ ArtifactPtr
 CompileService::lookup(const CompileRequest &request, const std::string &key)
 {
     return cache_.getOrCompute(key, [this, &request, &key] {
-        auto compile = [&request, &key] {
+        auto compile = [this, &request, &key]() -> ArtifactPtr {
+            // Neighbor step of the lookup chain: warm-start from the
+            // structurally closest retained search state. Byte-identical
+            // to the cold path, so memory/disk entries computed either
+            // way are interchangeable.
+            if (warmStore_) {
+                return compileArtifactIncremental(request, key, *warmStore_,
+                                                  disk_.get());
+            }
             return compileArtifact(request, key);
         };
         return disk_ ? disk_->loadOrCompute(key, compile) : compile();

@@ -31,6 +31,7 @@
 
 #include "arch/chip_config.hpp"
 #include "compiler/compiler_api.hpp"
+#include "compiler/warm_state.hpp"
 #include "graph/passes.hpp"
 #include "metaop/validator.hpp"
 #include "service/disk_plan_cache.hpp"
@@ -38,6 +39,8 @@
 #include "sim/energy.hpp"
 
 namespace cmswitch {
+
+class WarmStateStore;
 
 /** One compilation job: resolved chip + graph + compiler + options. */
 struct CompileRequest
@@ -82,15 +85,33 @@ struct CompileArtifact
 };
 
 /**
+ * Incremental-compilation context for compileArtifact(): the neighbor
+ * state to warm-start from (may be null), and, on return, this
+ * compile's own retained state plus what was actually reused. Passing
+ * a context never changes the compiled plan (warm_state.hpp soundness
+ * contract); it only changes how fast the search reaches it.
+ */
+struct WarmCompileContext
+{
+    std::shared_ptr<const CompilerWarmState> neighbor; ///< in
+    std::shared_ptr<CompilerWarmState> retained;       ///< out
+    WarmReuseStats stats;                              ///< out
+};
+
+/**
  * Compile @p request in the calling thread, bypassing any cache:
  * resolve the compiler, run it, validate the program against the chip
  * and price its energy. This is the one compile path — service workers
  * and `cmswitchc` single-shot mode both funnel through it.
  * The two-argument form takes a precomputed requestKey() so hot paths
- * hash the request once.
+ * hash the request once; the three-argument form additionally threads
+ * an incremental-compilation context through the compiler
+ * (service/incremental/incremental_compile.hpp drives it).
  */
 ArtifactPtr compileArtifact(const CompileRequest &request);
 ArtifactPtr compileArtifact(const CompileRequest &request, std::string key);
+ArtifactPtr compileArtifact(const CompileRequest &request, std::string key,
+                            WarmCompileContext *warm);
 
 struct CompileServiceOptions
 {
@@ -143,16 +164,22 @@ class CompileService
     /** The disk layer, or nullptr when options().cacheDir is empty. */
     DiskPlanCache *diskCache() const { return disk_.get(); }
 
+    /** The warm-state store behind incremental compilation, or nullptr
+     *  when options().cacheDir is empty (warm state rides along with
+     *  the persistent plan cache). */
+    WarmStateStore *warmStore() const { return warmStore_.get(); }
+
   private:
     void workerLoop();
 
-    /** Single-flighted memory -> disk -> compile (-> publish) lookup. */
+    /** Single-flighted memory -> disk -> neighbor -> cold lookup. */
     ArtifactPtr lookup(const CompileRequest &request,
                        const std::string &key);
 
     CompileServiceOptions options_;
     PlanCache cache_;
     std::unique_ptr<DiskPlanCache> disk_;
+    std::unique_ptr<WarmStateStore> warmStore_;
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;

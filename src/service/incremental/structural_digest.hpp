@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Structural digests for incremental (delta) compilation.
+ *
+ * The warm-state store (warm_state_store.hpp) has to answer "which
+ * retained search state is the best neighbor for this request?" without
+ * aligning op lists — alignment is the compiler's job and costs real
+ * time. The answer comes from three FNV-1a digests of the request:
+ *
+ *  - `family`: the *shape-free* structural identity — chip config,
+ *    compiler id, option flags, build fingerprint, and every operator's
+ *    kind/class/attributes/topology and tensor kinds/dtypes, but NOT
+ *    tensor dims. All KV buckets of one decode model share a family
+ *    (only attention shapes move); requests in different families never
+ *    share warm state (an allocation priced for another chip or
+ *    compiler is useless, and a different build may disagree about
+ *    everything).
+ *  - `exact`: the family digest continued over every tensor shape — the
+ *    full structural identity. Two requests with equal `exact` digests
+ *    compile identical plans (it folds the same facts as requestKey()),
+ *    so an exact-match neighbor supports *full* search-state reuse.
+ *  - `prefix` / `suffix`: shape-inclusive digests of the first/last
+ *    kDigestWindow operators, used to rank same-family candidates:
+ *    neighbors sharing the request's entry and exit structure align
+ *    with the least search loss.
+ *
+ * Digests are derived data, deliberately *not* part of requestKey():
+ * adding them must never re-key the plan cache.
+ */
+
+#ifndef CMSWITCH_SERVICE_INCREMENTAL_STRUCTURAL_DIGEST_HPP
+#define CMSWITCH_SERVICE_INCREMENTAL_STRUCTURAL_DIGEST_HPP
+
+#include "service/compile_service.hpp"
+
+namespace cmswitch {
+
+/** Ops folded into the prefix/suffix window digests. */
+inline constexpr s64 kDigestWindow = 16;
+
+/** The three-level structural identity of one compile request. */
+struct StructuralDigest
+{
+    u64 family = 0; ///< shape-free: chip + compiler + op structure
+    u64 exact = 0;  ///< family + every tensor shape (full identity)
+    u64 prefix = 0; ///< shape-inclusive, first kDigestWindow ops
+    u64 suffix = 0; ///< shape-inclusive, last kDigestWindow ops
+
+    bool operator==(const StructuralDigest &other) const
+    {
+        return family == other.family && exact == other.exact
+            && prefix == other.prefix && suffix == other.suffix;
+    }
+};
+
+/**
+ * Digest @p request. Deterministic and order-stable: the digest folds
+ * ops and tensors in graph index order, so two identically-constructed
+ * requests always agree (tests/property_test.cpp pins this across the
+ * scenario matrix).
+ */
+StructuralDigest requestStructuralDigest(const CompileRequest &request);
+
+/** Digest of @p graph alone under a fixed (chip, compiler, options)
+ *  context seed — the graph-only factor of requestStructuralDigest. */
+StructuralDigest graphStructuralDigest(const Graph &graph, u64 seed);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_INCREMENTAL_STRUCTURAL_DIGEST_HPP

@@ -9,10 +9,11 @@
  * destroyed (or on an explicit flush), using the same tmp-file +
  * atomic-rename publication protocol as plan artifacts: a reader never
  * sees a torn sidecar. The file is a wrapEnvelope() document
- * (`cmswitch-cache-stats-v2` tag + length + FNV-1a digest) over five
+ * (`cmswitch-cache-stats-v3` tag + length + FNV-1a digest) over eight
  * little-endian s64 totals (hits, misses, stores, rejected,
- * touchFailed). Writers always publish v2; readers also accept the
- * four-total v1 layout written by older builds (touchFailed reads as
+ * touchFailed, neighborHits, neighborPartials, neighborMisses).
+ * Writers always publish v3; readers also accept the five-total v2 and
+ * four-total v1 layouts written by older builds (absent totals read as
  * zero) so a shared cache directory upgrades in place.
  *
  * Accuracy contract: the read-modify-write merge is not transactional
@@ -39,6 +40,11 @@ inline constexpr std::string_view kStatsSidecarName = "cache-stats.sidecar";
 
 /** Format tag written by this build (wrapEnvelope document). */
 inline constexpr std::string_view kStatsSidecarTag =
+    "cmswitch-cache-stats-v3\n";
+
+/** Legacy five-total layout (no neighbor counters); still readable,
+ *  never written. */
+inline constexpr std::string_view kStatsSidecarTagV2 =
     "cmswitch-cache-stats-v2\n";
 
 /** Legacy four-total layout; still readable, never written. */

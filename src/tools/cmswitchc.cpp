@@ -44,6 +44,7 @@
 #include "service/cache_maintenance.hpp"
 #include "service/compile_service.hpp"
 #include "service/disk_plan_cache.hpp"
+#include "service/incremental/incremental_compile.hpp"
 #include "service/json_report.hpp"
 #include "service/plan_fingerprint.hpp"
 #include "sim/energy.hpp"
@@ -464,7 +465,12 @@ singleMain(int argc, char **argv)
             std::cerr << "cmswitchc: plan cache disk hit (" << key
                       << ") in " << disk.directory() << "\n";
         } else {
-            artifact = compileArtifact(request, key);
+            // Miss: compile warm-started from the structurally closest
+            // retained search state in this cache dir (byte-identical
+            // to a cold compile; only faster when a neighbor exists).
+            WarmStateStore warm_store(args.cacheDir);
+            artifact = compileArtifactIncremental(request, key, warm_store,
+                                                  &disk);
             disk.store(key, artifact);
             std::cerr << "cmswitchc: plan cache miss; stored " << key
                       << " in " << disk.directory() << "\n";
@@ -792,7 +798,7 @@ batchMain(int argc, char **argv)
         sidecar = service.diskCache()->flushSidecar();
     JsonWriter w;
     w.beginObject()
-        .field("schema", "cmswitch-batch-summary-v4")
+        .field("schema", "cmswitch-batch-summary-v5")
         .field("jobs", static_cast<s64>(jobs.size()))
         .field("threads", batch.threads)
         .field("search_threads", batch.searchThreads)
@@ -815,7 +821,12 @@ batchMain(int argc, char **argv)
         .field("sidecar_misses", sidecar.misses)
         .field("sidecar_stores", sidecar.stores)
         .field("sidecar_rejected", sidecar.rejected)
-        .field("sidecar_touch_failed", sidecar.touchFailed);
+        .field("sidecar_touch_failed", sidecar.touchFailed)
+        // v5: incremental-compilation neighbor totals (see
+        // service/incremental/incremental_compile.hpp).
+        .field("sidecar_neighbor_hits", sidecar.neighborHits)
+        .field("sidecar_neighbor_partials", sidecar.neighborPartials)
+        .field("sidecar_neighbor_misses", sidecar.neighborMisses);
     w.endObject();
     // v4: compile-latency quantiles (p50/p90/p95/p99 from the log
     // histograms) plus the full metrics snapshot — the timing half of

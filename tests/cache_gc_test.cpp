@@ -414,6 +414,78 @@ TEST(StatsSidecar, ReadsV1FormatAndUpgradesOnMerge)
     EXPECT_EQ(totals.touchFailed, 2);
 }
 
+TEST(StatsSidecar, V3RoundtripsNeighborCounters)
+{
+    ScratchDir dir("sidecar_v3");
+    DiskPlanCacheStats delta;
+    delta.neighborHits = 3;
+    delta.neighborPartials = 2;
+    delta.neighborMisses = 1;
+    mergeStatsSidecar(dir.str(), delta);
+
+    bool present = false;
+    DiskPlanCacheStats totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_TRUE(present);
+    EXPECT_EQ(totals.neighborHits, 3);
+    EXPECT_EQ(totals.neighborPartials, 2);
+    EXPECT_EQ(totals.neighborMisses, 1);
+
+    // DiskPlanCache::recordNeighbor feeds the same counters through the
+    // flush path other totals use.
+    {
+        DiskPlanCache cache(dir.str());
+        cache.recordNeighbor(NeighborOutcome::kHit);
+        cache.recordNeighbor(NeighborOutcome::kMiss);
+        EXPECT_EQ(cache.stats().neighborHits, 1);
+        EXPECT_EQ(cache.stats().neighborMisses, 1);
+    }
+    totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_EQ(totals.neighborHits, 4);
+    EXPECT_EQ(totals.neighborPartials, 2);
+    EXPECT_EQ(totals.neighborMisses, 2);
+
+    // And `cache stats` surfaces them in the JSON report.
+    CacheStatsReport report = statsPlanCache(dir.str());
+    JsonWriter w;
+    report.writeJson(w);
+    EXPECT_NE(w.str().find("\"neighbor_hits\": 4"), std::string::npos)
+        << w.str();
+    EXPECT_NE(w.str().find("\"neighbor_misses\": 2"), std::string::npos)
+        << w.str();
+}
+
+TEST(StatsSidecar, ReadsV2FormatWithZeroNeighborCounters)
+{
+    ScratchDir dir("sidecar_v2_legacy");
+    // A sidecar as the previous build wrote it: v2 tag, five counters.
+    BinaryWriter payload;
+    payload.writeS64(1).writeS64(2).writeS64(3).writeS64(4).writeS64(5);
+    std::ofstream(statsSidecarPath(dir.str()), std::ios::binary)
+        << wrapEnvelope(kStatsSidecarTagV2, payload.bytes());
+
+    bool present = false;
+    DiskPlanCacheStats totals = readStatsSidecar(dir.str(), &present);
+    EXPECT_TRUE(present);
+    EXPECT_EQ(totals.hits, 1);
+    EXPECT_EQ(totals.touchFailed, 5);
+    EXPECT_EQ(totals.neighborHits, 0); // v2 has no neighbor counters
+    EXPECT_EQ(totals.neighborPartials, 0);
+    EXPECT_EQ(totals.neighborMisses, 0);
+
+    // The first merge upgrades the file to the v3 envelope in place.
+    DiskPlanCacheStats delta;
+    delta.neighborHits = 7;
+    totals = mergeStatsSidecar(dir.str(), delta);
+    EXPECT_EQ(totals.hits, 1);
+    EXPECT_EQ(totals.neighborHits, 7);
+    std::string data;
+    ASSERT_TRUE(readFileBytes(statsSidecarPath(dir.str()), &data));
+    std::string_view upgraded;
+    std::string error;
+    EXPECT_TRUE(unwrapEnvelope(kStatsSidecarTag, data, &upgraded, &error))
+        << error;
+}
+
 TEST(PlanFingerprint, RevisionBumpChangesAndRevertRestoresTheDigest)
 {
     const std::string original = buildFingerprintHex();
@@ -458,7 +530,7 @@ TEST(CacheReports, JsonDocumentsCarryTheirSchemas)
 
     JsonWriter stats_doc;
     statsPlanCache(dir.str()).writeJson(stats_doc);
-    EXPECT_NE(stats_doc.str().find("cmswitch-cache-stats-report-v1"),
+    EXPECT_NE(stats_doc.str().find("cmswitch-cache-stats-report-v2"),
               std::string::npos);
 
     JsonWriter verify_doc;
