@@ -236,6 +236,16 @@ metName(Met m)
     case Met::kPlanCacheEvictions: return "plan_cache.evictions";
     case Met::kPlanCacheHits: return "plan_cache.hits";
     case Met::kPlanCacheMisses: return "plan_cache.misses";
+    case Met::kServeAdmitted: return "serve.admitted";
+    case Met::kServeCacheCold: return "serve.cache_cold";
+    case Met::kServeCacheDisk: return "serve.cache_disk";
+    case Met::kServeCacheMemory: return "serve.cache_memory";
+    case Met::kServeCacheNeighbor: return "serve.cache_neighbor";
+    case Met::kServeCoalesced: return "serve.coalesced";
+    case Met::kServeErrors: return "serve.errors";
+    case Met::kServeReceived: return "serve.received";
+    case Met::kServeShedAdmission: return "serve.shed_admission";
+    case Met::kServeShedDeadline: return "serve.shed_deadline";
     case Met::kCount: break;
     }
     cmswitch_panic("metName: bad counter id ", static_cast<u32>(m));
@@ -245,6 +255,8 @@ const char *
 gauName(Gau g)
 {
     switch (g) {
+    case Gau::kServeInflight: return "serve.inflight";
+    case Gau::kServeQueueDepth: return "serve.queue_depth";
     case Gau::kSearchThreads: return "service.search_threads";
     case Gau::kServiceThreads: return "service.threads";
     case Gau::kCount: break;
@@ -265,6 +277,9 @@ histName(Hist h)
     case Hist::kPhasePasses: return "phase.frontend_passes_seconds";
     case Hist::kPhaseSegment: return "phase.segment_seconds";
     case Hist::kPhaseValidate: return "phase.validate_seconds";
+    case Hist::kServeExecute: return "serve.execute_seconds";
+    case Hist::kServeQueueWait: return "serve.queue_wait_seconds";
+    case Hist::kServeTotal: return "serve.total_seconds";
     case Hist::kServiceExecute: return "service.execute_seconds";
     case Hist::kServiceQueueWait: return "service.queue_wait_seconds";
     case Hist::kCount: break;

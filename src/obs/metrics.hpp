@@ -153,11 +153,24 @@ enum class Met : u32 {
     kPlanCacheEvictions,
     kPlanCacheHits,
     kPlanCacheMisses,
+    kServeAdmitted,
+    kServeCacheCold,
+    kServeCacheDisk,
+    kServeCacheMemory,
+    kServeCacheNeighbor,
+    kServeCoalesced,
+    kServeErrors,
+    kServeReceived,
+    kServeShedAdmission,
+    kServeShedDeadline,
     kCount,
 };
 
-/** Built-in gauges. */
+/** Built-in gauges (declared in name order: the snapshot's gauge keys
+ *  come straight from the enum, not through a sorting map). */
 enum class Gau : u32 {
+    kServeInflight,
+    kServeQueueDepth,
     kSearchThreads,
     kServiceThreads,
     kCount,
@@ -174,6 +187,9 @@ enum class Hist : u32 {
     kPhasePasses,
     kPhaseSegment,
     kPhaseValidate,
+    kServeExecute,
+    kServeQueueWait,
+    kServeTotal,
     kServiceExecute,
     kServiceQueueWait,
     kCount,

@@ -158,43 +158,96 @@ CompileService::workerLoop()
     }
 }
 
-ArtifactPtr
-CompileService::lookup(const CompileRequest &request, const std::string &key)
+const char *
+cacheOutcomeName(CacheOutcome outcome)
 {
-    return cache_.getOrCompute(key, [this, &request, &key] {
-        auto compile = [this, &request, &key]() -> ArtifactPtr {
+    switch (outcome) {
+    case CacheOutcome::kMemory: return "memory";
+    case CacheOutcome::kDisk: return "disk";
+    case CacheOutcome::kNeighbor: return "neighbor";
+    case CacheOutcome::kCold: return "cold";
+    }
+    cmswitch_panic("cacheOutcomeName: bad outcome ",
+                   static_cast<int>(outcome));
+}
+
+ArtifactPtr
+CompileService::lookup(const CompileRequest &request, const std::string &key,
+                       CacheOutcome *outcome)
+{
+    // The classification flags are only written inside the compute
+    // lambda, which getOrCompute runs in *this* thread iff this call is
+    // the one that computes (single-flight). A join of someone else's
+    // in-flight compute leaves entered == false and classifies as a
+    // memory hit, matching PlanCache's own hit accounting.
+    bool entered = false;
+    CacheOutcome produced = CacheOutcome::kCold;
+    ArtifactPtr artifact = cache_.getOrCompute(key, [&]() -> ArtifactPtr {
+        entered = true;
+        auto compile = [&]() -> ArtifactPtr {
             // Neighbor step of the lookup chain: warm-start from the
             // structurally closest retained search state. Byte-identical
             // to the cold path, so memory/disk entries computed either
             // way are interchangeable.
             if (warmStore_) {
-                return compileArtifactIncremental(request, key, *warmStore_,
-                                                  disk_.get());
+                NeighborOutcome neighbor = NeighborOutcome::kMiss;
+                ArtifactPtr out = compileArtifactIncremental(
+                    request, key, *warmStore_, disk_.get(), &neighbor);
+                // Only a neighbor whose state did real work counts; a
+                // partial (found but nothing reusable) ran the full
+                // search and is a cold compile for reporting purposes.
+                produced = neighbor == NeighborOutcome::kHit
+                               ? CacheOutcome::kNeighbor
+                               : CacheOutcome::kCold;
+                return out;
             }
+            produced = CacheOutcome::kCold;
             return compileArtifact(request, key);
         };
-        return disk_ ? disk_->loadOrCompute(key, compile) : compile();
+        if (disk_) {
+            bool compiled = false;
+            ArtifactPtr out = disk_->loadOrCompute(key, [&] {
+                compiled = true;
+                return compile();
+            });
+            if (!compiled)
+                produced = CacheOutcome::kDisk;
+            return out;
+        }
+        return compile();
     });
+    if (outcome)
+        *outcome = entered ? produced : CacheOutcome::kMemory;
+    return artifact;
 }
 
 std::future<ArtifactPtr>
-CompileService::submit(CompileRequest request)
+CompileService::submit(CompileRequest request,
+                       ServiceRequestLatency *latency)
 {
     request.searchThreads = options_.searchThreads;
     std::string key = requestKey(request); // hash before the move below
     std::packaged_task<ArtifactPtr()> task(
-        [this, request = std::move(request), key = std::move(key),
+        [this, request = std::move(request), key = std::move(key), latency,
          enqueued = std::chrono::steady_clock::now()]() -> ArtifactPtr {
-            if (obs::metricsEnabled()) {
-                obs::recordSeconds(
-                    obs::Hist::kServiceQueueWait,
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - enqueued)
-                        .count());
-            }
+            auto pickup = std::chrono::steady_clock::now();
+            double wait =
+                std::chrono::duration<double>(pickup - enqueued).count();
+            if (obs::metricsEnabled())
+                obs::recordSeconds(obs::Hist::kServiceQueueWait, wait);
             obs::ScopedPhase execute(obs::Hist::kServiceExecute,
                                      "service.execute", "service");
-            return lookup(request, key);
+            ArtifactPtr artifact = lookup(request, key);
+            if (latency) {
+                // Written before the packaged_task fulfills the future,
+                // so future.get() sequences these stores for the caller.
+                latency->queueWaitSeconds = wait;
+                latency->executeSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - pickup)
+                        .count();
+            }
+            return artifact;
         });
     std::future<ArtifactPtr> future = task.get_future();
     {
@@ -209,7 +262,8 @@ CompileService::submit(CompileRequest request)
 }
 
 ArtifactPtr
-CompileService::compileNow(const CompileRequest &request)
+CompileService::compileNow(const CompileRequest &request,
+                           CacheOutcome *outcome)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -220,7 +274,7 @@ CompileService::compileNow(const CompileRequest &request)
     std::string key = requestKey(stamped);
     obs::ScopedPhase execute(obs::Hist::kServiceExecute, "service.execute",
                              "service");
-    return lookup(stamped, key);
+    return lookup(stamped, key, outcome);
 }
 
 CompileServiceStats

@@ -113,6 +113,34 @@ ArtifactPtr compileArtifact(const CompileRequest &request, std::string key);
 ArtifactPtr compileArtifact(const CompileRequest &request, std::string key,
                             WarmCompileContext *warm);
 
+/**
+ * Which step of the service lookup chain produced an artifact:
+ *   memory   — in-memory PlanCache hit, or a single-flight join of an
+ *              in-flight compile of the same key;
+ *   disk     — loaded from the persistent plan cache;
+ *   neighbor — compiled, but warm-started from a structural neighbor
+ *              whose state did real work (NeighborOutcome::kHit);
+ *   cold     — compiled from scratch (includes neighbor partial/miss).
+ * The serve daemon stamps this into every response.
+ */
+enum class CacheOutcome { kMemory, kDisk, kNeighbor, kCold };
+
+/** Stable lowercase name ("memory", "disk", "neighbor", "cold"). */
+const char *cacheOutcomeName(CacheOutcome outcome);
+
+/**
+ * Per-request latency split measured by the caller and threaded into
+ * JSON reports (service/json_report.hpp): how long the request sat in
+ * a queue before a worker picked it up, and how long the cache lookup
+ * + compile took once it ran. Serve, batch and single reports all use
+ * this shape, so their observability sections stay field-compatible.
+ */
+struct ServiceRequestLatency
+{
+    double queueWaitSeconds = 0.0;
+    double executeSeconds = 0.0;
+};
+
 struct CompileServiceOptions
 {
     s64 threads = 1;        ///< worker pool size (>= 1)
@@ -147,15 +175,22 @@ class CompileService
     CompileService(const CompileService &) = delete;
     CompileService &operator=(const CompileService &) = delete;
 
-    /** Enqueue @p request on the pool; the future may rethrow. */
-    std::future<ArtifactPtr> submit(CompileRequest request);
+    /** Enqueue @p request on the pool; the future may rethrow.
+     *  @p latency (may be null) receives the request's queue-wait /
+     *  execute split; it must outlive the future and is fully written
+     *  before the future becomes ready. */
+    std::future<ArtifactPtr> submit(CompileRequest request,
+                                    ServiceRequestLatency *latency =
+                                        nullptr);
 
     /**
      * Compile @p request through the cache in the *calling* thread
      * (no queue hop). Safe to mix with submit(): single-flight still
-     * holds across both paths.
+     * holds across both paths. @p outcome (may be null) receives which
+     * lookup-chain step produced the artifact.
      */
-    ArtifactPtr compileNow(const CompileRequest &request);
+    ArtifactPtr compileNow(const CompileRequest &request,
+                           CacheOutcome *outcome = nullptr);
 
     CompileServiceStats stats() const;
 
@@ -172,9 +207,11 @@ class CompileService
   private:
     void workerLoop();
 
-    /** Single-flighted memory -> disk -> neighbor -> cold lookup. */
+    /** Single-flighted memory -> disk -> neighbor -> cold lookup;
+     *  @p outcome (may be null) reports which step served it. */
     ArtifactPtr lookup(const CompileRequest &request,
-                       const std::string &key);
+                       const std::string &key,
+                       CacheOutcome *outcome = nullptr);
 
     CompileServiceOptions options_;
     PlanCache cache_;

@@ -7,7 +7,8 @@ namespace cmswitch {
 
 ArtifactPtr
 compileArtifactIncremental(const CompileRequest &request, std::string key,
-                           WarmStateStore &store, DiskPlanCache *disk)
+                           WarmStateStore &store, DiskPlanCache *disk,
+                           NeighborOutcome *outcomeOut)
 {
     StructuralDigest digest = requestStructuralDigest(request);
     WarmStateStore::Neighbor neighbor;
@@ -47,6 +48,8 @@ compileArtifactIncremental(const CompileRequest &request, std::string key,
         obs::count(obs::Met::kIncrementalSigImports, warm.stats.sigImports);
     if (disk)
         disk->recordNeighbor(outcome);
+    if (outcomeOut)
+        *outcomeOut = outcome;
 
     // Retain this compile's own state (null for compilers that do not
     // implement warm compilation, e.g. reference-search builds).

@@ -39,12 +39,16 @@ class DiskPlanCache;
 /**
  * Compile @p request warm-started from the best neighbor in @p store,
  * retaining this compile's state for future neighbors. @p disk (may be
- * null) receives the neighbor hit/partial/miss classification.
+ * null) receives the neighbor hit/partial/miss classification;
+ * @p outcome (may be null) receives the same classification so callers
+ * (the serve daemon's per-request cache-outcome field) can report it
+ * without diffing stats snapshots.
  */
 ArtifactPtr compileArtifactIncremental(const CompileRequest &request,
                                        std::string key,
                                        WarmStateStore &store,
-                                       DiskPlanCache *disk);
+                                       DiskPlanCache *disk,
+                                       NeighborOutcome *outcomeOut = nullptr);
 
 } // namespace cmswitch
 

@@ -7,7 +7,8 @@ namespace cmswitch {
 
 void
 writeCompileReport(JsonWriter &w, const CompileArtifact &artifact,
-                   const obs::MetricsRegistry *observability)
+                   const obs::MetricsRegistry *observability,
+                   const ServiceRequestLatency *latency)
 {
     w.beginObject()
         .field("schema", kCompileReportSchema)
@@ -25,19 +26,31 @@ writeCompileReport(JsonWriter &w, const CompileArtifact &artifact,
     artifact.result.writeJson(w);
     w.key("energy");
     artifact.energy.writeJson(w);
-    if (observability != nullptr) {
-        w.key("observability");
-        observability->writeJson(w);
+    if (observability != nullptr || latency != nullptr) {
+        w.key("observability").beginObject();
+        if (latency != nullptr) {
+            w.key("request")
+                .beginObject()
+                .field("queue_wait_seconds", latency->queueWaitSeconds)
+                .field("execute_seconds", latency->executeSeconds)
+                .endObject();
+        }
+        if (observability != nullptr) {
+            w.key("metrics");
+            observability->writeJson(w);
+        }
+        w.endObject();
     }
     w.endObject();
 }
 
 std::string
 renderCompileReport(const CompileArtifact &artifact,
-                    const obs::MetricsRegistry *observability)
+                    const obs::MetricsRegistry *observability,
+                    const ServiceRequestLatency *latency)
 {
     JsonWriter w;
-    writeCompileReport(w, artifact, observability);
+    writeCompileReport(w, artifact, observability, latency);
     return w.str();
 }
 

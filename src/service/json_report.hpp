@@ -1,10 +1,10 @@
 /**
  * @file
  * JSON report rendering for compile artifacts — the machine-readable
- * output of `cmswitchc --emit-json` and every per-job file of
- * `cmswitchc batch`. The schema is documented field-by-field in
- * README.md ("JSON report schema"); bump kCompileReportSchema when it
- * changes shape.
+ * output of `cmswitchc --emit-json`, every per-job file of
+ * `cmswitchc batch`, and every serve-daemon response report. The
+ * schema is documented field-by-field in docs/schemas.md; bump
+ * kCompileReportSchema when it changes shape.
  *
  * Reports are *content-deterministic*: two artifacts for the same
  * request key render to byte-identical text, independent of thread
@@ -12,11 +12,18 @@
  * (compile seconds) therefore live only in the batch summary, never in
  * a report.
  *
- * The one opt-in exception: when the caller passes a MetricsRegistry
- * (single-mode `--trace`/`--metrics` sessions), the report gains an
- * "observability" object with the per-phase latency breakdown. That
- * section carries timing and is intentionally absent from batch
- * per-job reports, which stay byte-comparable across runs.
+ * The one opt-in exception: the "observability" object. When the
+ * caller passes a MetricsRegistry (single-mode `--trace`/`--metrics`
+ * sessions, batch `--job-latency`) the report gains
+ * "observability.metrics" (full snapshot: counters, gauges, phase
+ * quantiles); when it passes a ServiceRequestLatency the report gains
+ * "observability.request" (this request's queue-wait/execute split —
+ * the same two fields serve responses and the batch summary report,
+ * so the three modes stay field-compatible). Both carry timing and
+ * are intentionally absent from default batch per-job reports, which
+ * stay byte-comparable across runs. v2 moved the metrics snapshot
+ * from "observability" itself down to "observability.metrics" to make
+ * room for the per-request section.
  */
 
 #ifndef CMSWITCH_SERVICE_JSON_REPORT_HPP
@@ -30,7 +37,7 @@ namespace cmswitch {
 
 /** Schema tag stamped into every per-compile report. */
 inline constexpr const char *kCompileReportSchema =
-    "cmswitch-compile-report-v1";
+    "cmswitch-compile-report-v2";
 
 namespace obs {
 class MetricsRegistry;
@@ -38,16 +45,21 @@ class MetricsRegistry;
 
 /**
  * Render @p artifact as an indented JSON document. When
- * @p observability is non-null the report gains an "observability"
- * object (full metrics snapshot: counters, gauges, phase quantiles).
+ * @p observability is non-null the report gains
+ * "observability.metrics" (full snapshot: counters, gauges, phase
+ * quantiles); when @p latency is non-null it gains
+ * "observability.request" (queue-wait/execute seconds).
  */
 std::string renderCompileReport(const CompileArtifact &artifact,
                                 const obs::MetricsRegistry *observability =
+                                    nullptr,
+                                const ServiceRequestLatency *latency =
                                     nullptr);
 
 /** writeJson-style hook for embedding a report into a larger document. */
 void writeCompileReport(JsonWriter &w, const CompileArtifact &artifact,
-                        const obs::MetricsRegistry *observability = nullptr);
+                        const obs::MetricsRegistry *observability = nullptr,
+                        const ServiceRequestLatency *latency = nullptr);
 
 } // namespace cmswitch
 

@@ -1,0 +1,267 @@
+#include "service/serve/serve_io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/serve/serve_engine.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+/** Poll granularity: how quickly a quiet session notices SIGTERM. */
+constexpr int kIdlePollMs = 200;
+
+std::sig_atomic_t volatile g_stopRequested = 0;
+
+void
+handleStopSignal(int)
+{
+    g_stopRequested = 1;
+}
+
+} // namespace
+
+void
+installServeSignalHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handleStopSignal;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+serveStopRequested()
+{
+    return g_stopRequested != 0;
+}
+
+FdLineReader::Result
+FdLineReader::next(std::string *line, int timeoutMs)
+{
+    for (;;) {
+        std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            *line = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            return Result::kLine;
+        }
+        if (eof_) {
+            if (!buffer_.empty()) { // final unterminated line
+                *line = std::move(buffer_);
+                buffer_.clear();
+                return Result::kLine;
+            }
+            return Result::kEof;
+        }
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int ready = poll(&pfd, 1, timeoutMs);
+        if (ready == 0)
+            return Result::kTimeout;
+        if (ready < 0) {
+            if (errno == EINTR) // signal: let the caller check flags
+                return Result::kTimeout;
+            return Result::kError;
+        }
+        char chunk[4096];
+        ssize_t got = read(fd_, chunk, sizeof(chunk));
+        if (got > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0) {
+            eof_ = true;
+            continue; // deliver any buffered tail, then kEof
+        }
+        if (errno == EINTR)
+            return Result::kTimeout;
+        return Result::kError;
+    }
+}
+
+void
+ServeWriter::setFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_ = fd;
+}
+
+void
+ServeWriter::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return;
+    std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t put = write(fd_, out.data() + off, out.size() - off);
+        if (put > 0) {
+            off += static_cast<std::size_t>(put);
+            continue;
+        }
+        if (put < 0 && errno == EINTR)
+            continue;
+        return; // peer gone; the line is lost, the daemon is not
+    }
+}
+
+bool
+runServeSession(ServeEngine &engine, int fd)
+{
+    FdLineReader reader(fd);
+    std::string line;
+    for (;;) {
+        if (serveStopRequested())
+            return false;
+        FdLineReader::Result result = reader.next(&line, kIdlePollMs);
+        switch (result) {
+        case FdLineReader::Result::kTimeout:
+            continue;
+        case FdLineReader::Result::kEof:
+            return true;
+        case FdLineReader::Result::kError:
+            warn("serve: session read error: ", std::strerror(errno));
+            return true;
+        case FdLineReader::Result::kLine:
+            if (trim(line).empty())
+                continue;
+            if (!engine.handleLine(line))
+                return false; // shutdown requested and drained
+        }
+    }
+}
+
+int
+runServeSocketDaemon(ServeEngine &engine, ServeWriter &writer,
+                     const std::string &socketPath,
+                     const std::string &pidFile)
+{
+    struct sockaddr_un address;
+    std::memset(&address, 0, sizeof(address));
+    address.sun_family = AF_UNIX;
+    cmswitch_fatal_if(socketPath.size() >= sizeof(address.sun_path),
+                      "socket path too long: ", socketPath);
+    std::strncpy(address.sun_path, socketPath.c_str(),
+                 sizeof(address.sun_path) - 1);
+
+    int listenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+    cmswitch_fatal_if(listenFd < 0, "serve: socket(): ",
+                      std::strerror(errno));
+    unlink(socketPath.c_str()); // a stale file from a dead daemon
+    cmswitch_fatal_if(
+        bind(listenFd, reinterpret_cast<struct sockaddr *>(&address),
+             sizeof(address))
+            != 0,
+        "serve: cannot bind ", socketPath, ": ", std::strerror(errno));
+    cmswitch_fatal_if(listen(listenFd, 8) != 0, "serve: listen(): ",
+                      std::strerror(errno));
+    if (!pidFile.empty()) {
+        // Written only after listen() succeeds: the file appearing
+        // means a connect() will be accepted — scripts poll for it.
+        std::ofstream out(pidFile);
+        cmswitch_fatal_if(!out, "serve: cannot write ", pidFile);
+        out << getpid() << "\n";
+    }
+    std::cerr << "cmswitchc: serve: listening on " << socketPath << "\n";
+
+    bool keepServing = true;
+    while (keepServing && !serveStopRequested()) {
+        struct pollfd pfd;
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int ready = poll(&pfd, 1, kIdlePollMs);
+        if (ready <= 0)
+            continue; // timeout / EINTR: re-check the stop flag
+        int clientFd = accept(listenFd, nullptr, nullptr);
+        if (clientFd < 0)
+            continue;
+        writer.setFd(clientFd);
+        keepServing = runServeSession(engine, clientFd);
+        engine.drainIdle(); // responses out before the fd goes away
+        writer.setFd(-1);
+        close(clientFd);
+    }
+
+    std::cerr << "cmswitchc: serve: shutting down ("
+              << (serveStopRequested() ? "signal" : "shutdown request")
+              << ")\n";
+    close(listenFd);
+    unlink(socketPath.c_str());
+    if (!pidFile.empty())
+        unlink(pidFile.c_str());
+    return 0;
+}
+
+int
+runServeClient(const std::string &socketPath,
+               const std::string &scriptPath)
+{
+    std::ifstream script(scriptPath);
+    cmswitch_fatal_if(!script, "serve: cannot open script ", scriptPath);
+    std::ostringstream buffered;
+    buffered << script.rdbuf();
+
+    struct sockaddr_un address;
+    std::memset(&address, 0, sizeof(address));
+    address.sun_family = AF_UNIX;
+    cmswitch_fatal_if(socketPath.size() >= sizeof(address.sun_path),
+                      "socket path too long: ", socketPath);
+    std::strncpy(address.sun_path, socketPath.c_str(),
+                 sizeof(address.sun_path) - 1);
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    cmswitch_fatal_if(fd < 0, "serve: socket(): ", std::strerror(errno));
+    cmswitch_fatal_if(
+        connect(fd, reinterpret_cast<struct sockaddr *>(&address),
+                sizeof(address))
+            != 0,
+        "serve: cannot connect to ", socketPath, ": ",
+        std::strerror(errno));
+
+    ServeWriter writer(fd);
+    std::istringstream lines(buffered.str());
+    std::string line;
+    s64 sent = 0;
+    while (std::getline(lines, line)) {
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        writer.writeLine(t);
+        ++sent;
+    }
+    shutdown(fd, SHUT_WR); // half-close: "no more requests"
+    std::cerr << "cmswitchc: serve: sent " << sent << " request line(s)\n";
+
+    FdLineReader reader(fd);
+    for (;;) {
+        FdLineReader::Result result = reader.next(&line, kIdlePollMs);
+        if (result == FdLineReader::Result::kTimeout)
+            continue;
+        if (result != FdLineReader::Result::kLine)
+            break;
+        std::cout << line << "\n";
+    }
+    std::cout.flush();
+    close(fd);
+    return 0;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Transport layer of the serve daemon: POSIX fd plumbing between a
+ * ServeEngine and its clients.
+ *
+ * Two transports, same session semantics (one JSON line in, one or
+ * more JSON lines out):
+ *
+ *   stdin/stdout   — `cmswitchc serve` with no --socket. One session;
+ *                    EOF on stdin ends it. This is the scriptable /
+ *                    CI-friendly form: pipe a request script in, read
+ *                    responses out.
+ *   Unix socket    — `cmswitchc serve --socket PATH`. The daemon
+ *                    accepts one connection at a time and serves
+ *                    sessions until a shutdown request or a signal;
+ *                    clients come and go, engine state (caches,
+ *                    counters, histograms) persists across sessions.
+ *                    Remote (TCP) transport is an explicit non-goal
+ *                    here — see ROADMAP.
+ *
+ * Shutdown discipline: SIGTERM/SIGINT set a flag that the poll-based
+ * read loops observe within their timeout; the daemon then stops
+ * accepting, drains admitted work (engine destructor) and exits 0.
+ * A blocking getline() could sit on a quiet fd forever and turn
+ * SIGTERM into SIGKILL territory; every read here goes through
+ * poll() with a bounded timeout instead. SIGPIPE is ignored so a
+ * vanished client costs one failed write, not the process.
+ *
+ * The client half (`serve --connect`) exists so tests and operators
+ * can drive a socket session without netcat: it writes a script of
+ * request lines, half-closes, and echoes every response line to
+ * stdout until the daemon closes.
+ */
+
+#ifndef CMSWITCH_SERVICE_SERVE_SERVE_IO_HPP
+#define CMSWITCH_SERVICE_SERVE_SERVE_IO_HPP
+
+#include <mutex>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class ServeEngine;
+
+/** Install the SIGTERM/SIGINT flag handler and ignore SIGPIPE. */
+void installServeSignalHandlers();
+
+/** True once SIGTERM or SIGINT arrived (after installation). */
+bool serveStopRequested();
+
+/**
+ * Buffered line reader over a poll()ed fd. next() returns kLine with
+ * one complete line (newline stripped), kTimeout when @p timeoutMs
+ * elapsed without one (callers re-check stop flags and retry), kEof
+ * at end of stream (a final unterminated line is delivered as kLine
+ * first), kError on a read error.
+ */
+class FdLineReader
+{
+  public:
+    explicit FdLineReader(int fd) : fd_(fd) {}
+
+    enum class Result { kLine, kTimeout, kEof, kError };
+
+    Result next(std::string *line, int timeoutMs);
+
+  private:
+    int fd_;
+    std::string buffer_;
+    bool eof_ = false;
+};
+
+/**
+ * Thread-safe '\n'-terminated line sink with a switchable destination
+ * fd — the daemon retargets it at each accepted connection, and -1
+ * drops lines (responses racing a disconnect). Engine worker threads
+ * and the session thread both write through it.
+ */
+class ServeWriter
+{
+  public:
+    explicit ServeWriter(int fd = -1) : fd_(fd) {}
+
+    void setFd(int fd);
+
+    /** Write @p line + '\n' fully; short writes retried, errors drop
+     *  the line (the transport is lossy once the peer is gone). */
+    void writeLine(const std::string &line);
+
+  private:
+    std::mutex mutex_;
+    int fd_ = -1;
+};
+
+/** Serve one session: read request lines from @p fd into @p engine
+ *  until EOF, a shutdown request, or a stop signal. Returns false iff
+ *  the session ended via shutdown request or stop signal (the daemon
+ *  should exit rather than accept again). */
+bool runServeSession(ServeEngine &engine, int fd);
+
+/**
+ * Daemon accept loop on a Unix socket at @p socketPath (stale files
+ * are replaced; @p writer is retargeted per connection). Writes
+ * getpid() to @p pidFile (if non-empty) once listening — creation of
+ * that file doubles as the readiness signal for scripts. Returns the
+ * process exit code.
+ */
+int runServeSocketDaemon(ServeEngine &engine, ServeWriter &writer,
+                         const std::string &socketPath,
+                         const std::string &pidFile);
+
+/** Client: connect to @p socketPath, send every non-blank,
+ *  non-'#'-comment line of @p scriptPath, half-close, and echo every
+ *  response line to stdout. Returns the process exit code. */
+int runServeClient(const std::string &socketPath,
+                   const std::string &scriptPath);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_SERVE_SERVE_IO_HPP

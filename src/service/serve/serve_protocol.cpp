@@ -1,0 +1,286 @@
+#include "service/serve/serve_protocol.hpp"
+
+#include <limits>
+
+#include "arch/chip_config.hpp"
+#include "eval/evaluation.hpp"
+#include "models/model_zoo.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace cmswitch {
+
+namespace {
+
+bool
+failWith(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+/** Typed field extractors: absent is fine, wrong type is an error. */
+bool
+takeString(const JsonValue &object, const char *key, std::string *out,
+           std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isString())
+        return failWith(error, std::string("'") + key
+                                   + "' must be a string");
+    *out = value->stringValue;
+    return true;
+}
+
+bool
+takeInt(const JsonValue &object, const char *key, s64 minValue, s64 *out,
+        bool *present, std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber() || !value->isIntegral)
+        return failWith(error, std::string("'") + key
+                                   + "' must be an integer");
+    if (value->intValue < minValue)
+        return failWith(error, std::string("'") + key + "' must be >= "
+                                   + std::to_string(minValue));
+    *out = value->intValue;
+    if (present)
+        *present = true;
+    return true;
+}
+
+bool
+takeBool(const JsonValue &object, const char *key, bool *out,
+         std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isBool())
+        return failWith(error, std::string("'") + key
+                                   + "' must be a boolean");
+    *out = value->boolValue;
+    return true;
+}
+
+bool
+isTransformerName(const std::string &name)
+{
+    return name == "bert-base" || name == "bert-large" || name == "gpt"
+        || name == "llama2-7b" || name == "opt-6.7b" || name == "opt-13b";
+}
+
+bool
+isCnnName(const std::string &name)
+{
+    return name == "vgg16" || name == "resnet18" || name == "resnet50"
+        || name == "mobilenetv2";
+}
+
+} // namespace
+
+bool
+parseServeRequest(const std::string &line, ServeRequest *out,
+                  std::string *error)
+{
+    JsonValue doc;
+    if (!parseJson(line, &doc, error))
+        return false;
+    if (!doc.isObject())
+        return failWith(error, "request must be a JSON object");
+
+    *out = ServeRequest();
+    std::string op;
+    if (!takeString(doc, "op", &op, error))
+        return false;
+    if (op == "compile")
+        out->op = ServeRequest::Op::kCompile;
+    else if (op == "status")
+        out->op = ServeRequest::Op::kStatus;
+    else if (op == "hold")
+        out->op = ServeRequest::Op::kHold;
+    else if (op == "release")
+        out->op = ServeRequest::Op::kRelease;
+    else if (op == "drain")
+        out->op = ServeRequest::Op::kDrain;
+    else if (op == "shutdown")
+        out->op = ServeRequest::Op::kShutdown;
+    else if (op.empty())
+        return failWith(error, "missing 'op'");
+    else
+        return failWith(error, "unknown op '" + op + "'");
+
+    if (!takeString(doc, "id", &out->id, error))
+        return false;
+
+    // Strictness: a typo'd key must not silently compile something
+    // other than what the client asked for.
+    static constexpr const char *kCompileKeys[] = {
+        "op",     "id",     "model",    "chip",        "compiler",
+        "batch",  "seq",    "decode",   "layers",      "optimize",
+        "priority", "deadline_ms",
+    };
+    for (const auto &[key, value] : doc.members) {
+        bool known = false;
+        for (const char *allowed : kCompileKeys)
+            known = known || key == allowed;
+        if (!known)
+            return failWith(error, "unknown key '" + key + "'");
+        if (out->op != ServeRequest::Op::kCompile && key != "op"
+            && key != "id")
+            return failWith(error, "'" + key + "' is only valid with "
+                                       "op compile");
+    }
+
+    if (out->op != ServeRequest::Op::kCompile)
+        return true;
+
+    if (out->id.empty())
+        return failWith(error, "compile requests need a non-empty 'id'");
+    if (!takeString(doc, "model", &out->model, error)
+        || !takeString(doc, "chip", &out->chip, error)
+        || !takeString(doc, "compiler", &out->compiler, error)
+        || !takeInt(doc, "batch", 1, &out->batch, nullptr, error)
+        || !takeInt(doc, "seq", 1, &out->seq, nullptr, error)
+        || !takeInt(doc, "decode", 0, &out->decodeKv, nullptr, error)
+        || !takeInt(doc, "layers", 0, &out->layers, nullptr, error)
+        || !takeBool(doc, "optimize", &out->optimize, error)
+        || !takeInt(doc, "priority", std::numeric_limits<s64>::min(),
+                    &out->priority, nullptr, error)
+        || !takeInt(doc, "deadline_ms", 0, &out->deadlineMs,
+                    &out->hasDeadline, error)) {
+        return false;
+    }
+    if (out->model.empty())
+        return failWith(error, "compile requests need a 'model'");
+    return true;
+}
+
+bool
+resolveServeRequest(const ServeRequest &request, CompileRequest *out,
+                    std::string *error)
+{
+    if (request.chip == "dynaplasia")
+        out->chip = ChipConfig::dynaplasia();
+    else if (request.chip == "prime")
+        out->chip = ChipConfig::prime();
+    else
+        return failWith(error, "unknown chip '" + request.chip
+                                   + "' (serve accepts the presets "
+                                     "dynaplasia and prime)");
+
+    if (request.compiler != "cmswitch" && request.compiler != "cim-mlc"
+        && request.compiler != "occ" && request.compiler != "puma") {
+        return failWith(error,
+                        "unknown compiler '" + request.compiler + "'");
+    }
+    out->compilerId = request.compiler;
+    out->optimize = request.optimize;
+
+    if (isTransformerName(request.model)) {
+        TransformerConfig cfg = transformerConfigByName(request.model);
+        if (request.layers > 0)
+            cfg.layers = request.layers;
+        out->workload =
+            request.decodeKv > 0
+                ? buildTransformerDecodeStep(cfg, request.batch,
+                                             request.decodeKv)
+                : buildTransformerPrefill(cfg, request.batch, request.seq);
+        return true;
+    }
+    if (request.decodeKv > 0 || request.layers > 0) {
+        return failWith(error, "'decode'/'layers' need a transformer "
+                               "model, got '" + request.model + "'");
+    }
+    if (isCnnName(request.model)) {
+        out->workload = buildModelByName(request.model, request.batch);
+        return true;
+    }
+    if (request.model == "tiny-mlp") {
+        out->workload = buildTinyMlp(request.batch);
+        return true;
+    }
+    return failWith(error, "unknown model '" + request.model
+                               + "' (serve accepts zoo model names and "
+                                 "tiny-mlp, not file paths)");
+}
+
+std::string
+renderServeAck(const std::string &id, const char *op)
+{
+    JsonWriter w(0);
+    w.beginObject()
+        .field("schema", kServeResponseSchema)
+        .field("id", id)
+        .field("status", "ok")
+        .field("op", op)
+        .endObject();
+    return w.str();
+}
+
+std::string
+renderServeError(const std::string &id, const std::string &message)
+{
+    JsonWriter w(0);
+    w.beginObject()
+        .field("schema", kServeResponseSchema)
+        .field("id", id)
+        .field("status", "error")
+        .field("error", message)
+        .endObject();
+    return w.str();
+}
+
+std::string
+renderServeShed(const std::string &id, const char *reason, s64 queueDepth,
+                s64 inflight)
+{
+    // The backpressure document: who was refused, why, and how loaded
+    // the daemon was at that instant — enough for a client to back off
+    // or escalate priority.
+    JsonWriter w(0);
+    w.beginObject()
+        .field("schema", kServeResponseSchema)
+        .field("id", id)
+        .field("status", "shed")
+        .field("reason", reason)
+        .field("queue_depth", queueDepth)
+        .field("inflight", inflight)
+        .endObject();
+    return w.str();
+}
+
+std::string
+renderServeResult(const ServeRequest &request,
+                  const CompileArtifact &artifact, CacheOutcome outcome,
+                  bool coalesced, const ServiceRequestLatency &latency)
+{
+    JsonWriter w(0);
+    w.beginObject()
+        .field("schema", kServeResponseSchema)
+        .field("id", request.id)
+        .field("status", "ok")
+        .field("op", "compile")
+        .field("model", artifact.result.program.modelName())
+        .field("chip", artifact.chip.name)
+        .field("compiler", artifact.compilerId)
+        .field("key", artifact.key)
+        .field("cache", cacheOutcomeName(outcome))
+        .field("coalesced", coalesced)
+        .field("valid", artifact.validation.ok())
+        .field("segments", artifact.result.numSegments())
+        .field("cycles", artifact.result.totalCycles())
+        .field("memory_array_ratio",
+               artifact.result.avgMemoryArrayRatio())
+        .field("queue_wait_seconds", latency.queueWaitSeconds)
+        .field("execute_seconds", latency.executeSeconds)
+        .endObject();
+    return w.str();
+}
+
+} // namespace cmswitch

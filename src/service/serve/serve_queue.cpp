@@ -1,0 +1,92 @@
+#include "service/serve/serve_queue.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+ServeQueue::ServeQueue(s64 maxQueue) : maxQueue_(maxQueue)
+{
+    cmswitch_fatal_if(maxQueue < 1,
+                      "serve queue needs maxQueue >= 1, got ", maxQueue);
+}
+
+std::size_t
+ServeQueue::victimIndex() const
+{
+    // Lowest priority loses; among equals the *newest* (highest seq)
+    // loses, so earlier arrivals keep their place — shedding is
+    // "priority then FIFO". tickets_ is seq-ascending, so a strict
+    // <= on priority while scanning forward lands on the last (newest)
+    // ticket of the weakest band.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < tickets_.size(); ++i) {
+        if (tickets_[i].priority <= tickets_[victim].priority)
+            victim = i;
+    }
+    return victim;
+}
+
+ServeQueue::Admission
+ServeQueue::admit(u64 seq, s64 priority, bool hasDeadline, double deadline)
+{
+    Admission out;
+    if (static_cast<s64>(tickets_.size()) >= maxQueue_) {
+        std::size_t victim = victimIndex();
+        // Strictly higher priority displaces; equal never does — an
+        // arrival must not bump a peer that got there first.
+        if (priority <= tickets_[victim].priority) {
+            out.kind = Admission::Kind::kShedSelf;
+            return out;
+        }
+        out.kind = Admission::Kind::kShedVictim;
+        out.victim = tickets_[victim].seq;
+        tickets_.erase(tickets_.begin()
+                       + static_cast<std::ptrdiff_t>(victim));
+    }
+    tickets_.push_back({seq, priority, hasDeadline, deadline});
+    return out;
+}
+
+bool
+ServeQueue::runsBefore(const Ticket &a, const Ticket &b)
+{
+    if (a.priority != b.priority)
+        return a.priority > b.priority;
+    // Within a band, urgency: a ticket with a deadline outranks one
+    // without, earlier deadlines first.
+    if (a.hasDeadline != b.hasDeadline)
+        return a.hasDeadline;
+    if (a.hasDeadline && a.deadline != b.deadline)
+        return a.deadline < b.deadline;
+    return a.seq < b.seq; // FIFO
+}
+
+bool
+ServeQueue::pop(double now, u64 *seq, std::vector<u64> *expired)
+{
+    // Expiry sweep first: a ticket whose deadline passed while it
+    // waited must never reach a worker, even if it would have been
+    // popped this very call.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < tickets_.size(); ++i) {
+        if (tickets_[i].hasDeadline && tickets_[i].deadline <= now) {
+            expired->push_back(tickets_[i].seq);
+        } else {
+            tickets_[kept++] = tickets_[i];
+        }
+    }
+    tickets_.resize(kept);
+    if (tickets_.empty())
+        return false;
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < tickets_.size(); ++i) {
+        if (runsBefore(tickets_[i], tickets_[best]))
+            best = i;
+    }
+    *seq = tickets_[best].seq;
+    tickets_.erase(tickets_.begin() + static_cast<std::ptrdiff_t>(best));
+    return true;
+}
+
+} // namespace cmswitch

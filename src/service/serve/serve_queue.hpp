@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Admission gate + priority/deadline run queue for the serve daemon —
+ * pure decision logic, no threads, no clock, no I/O.
+ *
+ * The daemon's capacity model is two numbers: max_inflight compiles
+ * run at once (ServeEngine's worker count) and at most max_queue
+ * requests wait behind them. This class owns the *waiting* half and
+ * every policy decision about it:
+ *
+ *  - Admission: a request that arrives at a full queue is shed —
+ *    unless it outranks the weakest waiter, in which case the weakest
+ *    waiter is evicted (shed) to make room. The victim is the lowest
+ *    priority ticket, newest first among equals, so FIFO fairness
+ *    within a priority band is preserved and an incoming request can
+ *    never displace an equal-priority one. Rejection order "priority
+ *    then FIFO" is pinned by service_test.
+ *  - Dispatch: pop() returns the highest-priority ticket; ties break
+ *    to the earliest deadline (a deadline always outranks none), then
+ *    FIFO by admission sequence.
+ *  - Deadline expiry: pop() first sweeps out every ticket whose
+ *    deadline has passed — an expired request is shed without ever
+ *    compiling, no matter how briefly it would have run.
+ *
+ * Time is a caller-supplied double (seconds on any monotonic scale):
+ * the engine passes steady_clock, unit tests pass a fake clock and
+ * get fully deterministic shed decisions. Linear scans are deliberate:
+ * max_queue is an operator knob in the tens, not thousands, and a
+ * transparent scan beats a heap whose tie-breaking needs documenting.
+ */
+
+#ifndef CMSWITCH_SERVICE_SERVE_SERVE_QUEUE_HPP
+#define CMSWITCH_SERVICE_SERVE_SERVE_QUEUE_HPP
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class ServeQueue
+{
+  public:
+    /** @p maxQueue: waiting tickets held at once; must be >= 1. */
+    explicit ServeQueue(s64 maxQueue);
+
+    /** What admit() decided. */
+    struct Admission
+    {
+        enum class Kind {
+            kAdmitted,   ///< ticket queued
+            kShedSelf,   ///< queue full, ticket does not outrank anyone
+            kShedVictim, ///< ticket queued; @c victim was evicted for it
+        };
+        Kind kind = Kind::kAdmitted;
+        u64 victim = 0; ///< evicted ticket (kShedVictim only)
+    };
+
+    /**
+     * Offer ticket @p seq (caller-unique, monotonically increasing =
+     * arrival order) with @p priority (higher wins). @p hasDeadline /
+     * @p deadline give its absolute expiry on the caller's clock.
+     */
+    Admission admit(u64 seq, s64 priority, bool hasDeadline,
+                    double deadline);
+
+    /**
+     * Sweep out every ticket whose deadline is at or before @p now
+     * (appended to @p expired in arrival order), then pop the best
+     * remaining ticket into @p seq. Returns false when the sweep
+     * leaves the queue empty.
+     */
+    bool pop(double now, u64 *seq, std::vector<u64> *expired);
+
+    s64 size() const { return static_cast<s64>(tickets_.size()); }
+    bool empty() const { return tickets_.empty(); }
+    s64 maxQueue() const { return maxQueue_; }
+
+  private:
+    struct Ticket
+    {
+        u64 seq = 0;
+        s64 priority = 0;
+        bool hasDeadline = false;
+        double deadline = 0.0;
+    };
+
+    /** Index of the weakest ticket (lowest priority, newest first). */
+    std::size_t victimIndex() const;
+
+    /** True when @p a should run before @p b. */
+    static bool runsBefore(const Ticket &a, const Ticket &b);
+
+    std::vector<Ticket> tickets_; ///< arrival order (seq ascending)
+    s64 maxQueue_;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SERVICE_SERVE_SERVE_QUEUE_HPP

@@ -1,0 +1,361 @@
+#include "support/json_parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace cmswitch {
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Hostile nesting bound: a protocol line is never this deep. */
+constexpr int kMaxDepth = 32;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool parse(JsonValue *out, std::string *error)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return fail(error);
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing characters after the document";
+            return fail(error);
+        }
+        return true;
+    }
+
+  private:
+    bool fail(std::string *error)
+    {
+        if (!error_.empty() && error != nullptr)
+            *error = error_ + " at byte " + std::to_string(pos_);
+        return error_.empty();
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skipWhitespace()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    bool expect(char c, const char *what)
+    {
+        if (atEnd() || peek() != c) {
+            error_ = std::string("expected ") + what;
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool parseLiteral(std::string_view word, const char *what)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            error_ = std::string("expected ") + what;
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            error_ = "nesting deeper than " + std::to_string(kMaxDepth);
+            return false;
+        }
+        skipWhitespace();
+        if (atEnd()) {
+            error_ = "unexpected end of input";
+            return false;
+        }
+        switch (peek()) {
+        case '{': return parseObject(out, depth);
+        case '[': return parseArray(out, depth);
+        case '"':
+            out->kind = JsonValue::Kind::kString;
+            return parseString(&out->stringValue);
+        case 't':
+            out->kind = JsonValue::Kind::kBool;
+            out->boolValue = true;
+            return parseLiteral("true", "'true'");
+        case 'f':
+            out->kind = JsonValue::Kind::kBool;
+            out->boolValue = false;
+            return parseLiteral("false", "'false'");
+        case 'n':
+            out->kind = JsonValue::Kind::kNull;
+            return parseLiteral("null", "'null'");
+        default: return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::kObject;
+        ++pos_; // '{'
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key;
+            if (atEnd() || peek() != '"') {
+                error_ = "expected a quoted object key";
+                return false;
+            }
+            if (!parseString(&key))
+                return false;
+            if (out->find(key) != nullptr) {
+                error_ = "duplicate object key '" + key + "'";
+                return false;
+            }
+            skipWhitespace();
+            if (!expect(':', "':' after object key"))
+                return false;
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->members.emplace_back(std::move(key), std::move(value));
+            skipWhitespace();
+            if (!atEnd() && peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect('}', "',' or '}' in object");
+        }
+    }
+
+    bool parseArray(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::kArray;
+        ++pos_; // '['
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->items.push_back(std::move(value));
+            skipWhitespace();
+            if (!atEnd() && peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']', "',' or ']' in array");
+        }
+    }
+
+    bool parseHex4(u32 *out)
+    {
+        u32 value = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd()) {
+                error_ = "truncated \\u escape";
+                return false;
+            }
+            char c = peek();
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<u32>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<u32>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<u32>(c - 'A' + 10);
+            else {
+                error_ = "bad hex digit in \\u escape";
+                return false;
+            }
+            ++pos_;
+        }
+        *out = value;
+        return true;
+    }
+
+    static void appendUtf8(std::string *out, u32 cp)
+    {
+        if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool parseString(std::string *out)
+    {
+        ++pos_; // opening quote
+        out->clear();
+        for (;;) {
+            if (atEnd()) {
+                error_ = "unterminated string";
+                return false;
+            }
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                error_ = "raw control character in string";
+                return false;
+            }
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (atEnd()) {
+                error_ = "truncated escape";
+                return false;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+                u32 cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                // Surrogate pair: a high surrogate must be followed by
+                // \uDC00..\uDFFF; anything else is malformed.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (text_.substr(pos_, 2) != "\\u") {
+                        error_ = "unpaired high surrogate";
+                        return false;
+                    }
+                    pos_ += 2;
+                    u32 low = 0;
+                    if (!parseHex4(&low))
+                        return false;
+                    if (low < 0xDC00 || low > 0xDFFF) {
+                        error_ = "bad low surrogate";
+                        return false;
+                    }
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    error_ = "unpaired low surrogate";
+                    return false;
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                error_ = "unknown escape";
+                return false;
+            }
+        }
+    }
+
+    bool parseNumber(JsonValue *out)
+    {
+        std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        std::size_t firstDigit = pos_;
+        bool sawDigit = false;
+        while (!atEnd() && peek() >= '0' && peek() <= '9') {
+            ++pos_;
+            sawDigit = true;
+        }
+        if (pos_ - firstDigit > 1 && text_[firstDigit] == '0') {
+            error_ = "leading zero in number";
+            pos_ = start;
+            return false;
+        }
+        bool integral = true;
+        if (!atEnd() && peek() == '.') {
+            integral = false;
+            ++pos_;
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            integral = false;
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!sawDigit) {
+            error_ = "expected a value";
+            pos_ = start;
+            return false;
+        }
+        std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || errno == ERANGE
+            || !std::isfinite(value)) {
+            error_ = "malformed number '" + token + "'";
+            pos_ = start;
+            return false;
+        }
+        out->kind = JsonValue::Kind::kNumber;
+        out->numberValue = value;
+        if (integral) {
+            errno = 0;
+            long long exact = std::strtoll(token.c_str(), &end, 10);
+            if (end == token.c_str() + token.size() && errno != ERANGE) {
+                out->isIntegral = true;
+                out->intValue = static_cast<s64>(exact);
+            }
+        }
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue *out, std::string *error)
+{
+    return Parser(text).parse(out, error);
+}
+
+} // namespace cmswitch

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal strict JSON parser for machine-generated input — the read
+ * half of support/json.hpp's writer.
+ *
+ * Built for the serve daemon's JSON-lines protocol: every request is
+ * one small, attacker-adjacent line that must parse completely or be
+ * rejected with a message — a malformed request costs one error
+ * response, never the process. Hence the posture:
+ *
+ *  - strict RFC 8259 subset: objects, arrays, strings (with escapes),
+ *    numbers, true/false/null; no comments, no trailing commas, no
+ *    unquoted keys;
+ *  - parseJson() never throws and never fatals — it returns false and
+ *    fills a human-readable error with a byte offset;
+ *  - bounded recursion (kMaxDepth) so hostile nesting cannot blow the
+ *    stack;
+ *  - numbers are held as double plus an exact s64 when the text is an
+ *    integer in range — protocol fields are ints, and 2^53 artifacts
+ *    of double round-tripping would be a silent correctness bug.
+ *
+ * This is not a general-purpose DOM: documents are expected to be
+ * small (one request line, one status report). For *writing* JSON use
+ * JsonWriter — the pair round-trips (json_test pins it).
+ */
+
+#ifndef CMSWITCH_SUPPORT_JSON_PARSE_HPP
+#define CMSWITCH_SUPPORT_JSON_PARSE_HPP
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    bool isIntegral = false; ///< numberValue is exactly intValue
+    s64 intValue = 0;
+    std::string stringValue;
+    std::vector<JsonValue> items; ///< kArray elements
+    /** kObject members in document order (duplicate keys rejected). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** @{ Kind tests. */
+    bool isNull() const { return kind == Kind::kNull; }
+    bool isBool() const { return kind == Kind::kBool; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isObject() const { return kind == Kind::kObject; }
+    /** @} */
+
+    /** Member lookup (objects only); nullptr when absent. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse @p text as exactly one JSON document (leading/trailing
+ * whitespace allowed, anything else after the value is an error).
+ * Returns true and fills @p out on success; returns false and puts a
+ * "message at byte N" description into @p error otherwise. @p out is
+ * left in an unspecified state on failure.
+ */
+bool parseJson(std::string_view text, JsonValue *out, std::string *error);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_JSON_PARSE_HPP

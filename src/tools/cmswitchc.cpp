@@ -2,10 +2,13 @@
  * @file
  * cmswitchc — command-line driver for the CMSwitch compiler.
  *
- * Three modes:
+ * Modes:
  *   cmswitchc --model ... [options]   single compile (the classic CLI)
  *   cmswitchc batch --jobs FILE ...   many compiles through the
  *                                     thread-pooled compile service
+ *   cmswitchc serve [options]         long-lived compile daemon over
+ *                                     stdin/stdout or a Unix socket
+ *                                     (docs/serving.md)
  *   cmswitchc cache <gc|stats|verify> lifecycle maintenance of a
  *                                     --cache-dir plan directory
  *   cmswitchc fingerprint             plan fingerprint + algorithm
@@ -47,6 +50,8 @@
 #include "service/incremental/incremental_compile.hpp"
 #include "service/json_report.hpp"
 #include "service/plan_fingerprint.hpp"
+#include "service/serve/serve_engine.hpp"
+#include "service/serve/serve_io.hpp"
 #include "sim/energy.hpp"
 #include "sim/timing.hpp"
 #include "support/json.hpp"
@@ -63,6 +68,8 @@ namespace {
 const char kUsage[] =
     R"(usage: cmswitchc --model <zoo-name | file.graph> [options]
        cmswitchc batch --jobs <file> --out-dir <dir> [batch options]
+       cmswitchc serve [--socket <path>] [serve options]
+       cmswitchc serve --connect <path> --script <file>
        cmswitchc cache <gc|stats|verify> --cache-dir <dir> [cache options]
        cmswitchc fingerprint
 
@@ -84,7 +91,7 @@ Options:
   --optimize          run the frontend graph passes before compiling
   --out FILE          write the meta-operator program to FILE
   --emit-json FILE    write the machine-readable compile report to
-                      FILE (schema: see README "JSON report schema")
+                      FILE (schema: docs/schemas.md)
   --cache-dir DIR     persistent plan cache: reuse a previously
                       compiled plan for this exact request from DIR
                       (cmswitch-plan-v1 artifact files, shared across
@@ -124,6 +131,44 @@ report per job plus an aggregate summary:
   --trace FILE           one Chrome trace-event JSON covering every
                          job; service workers and search-pool threads
                          appear as separate trace threads
+  --job-latency          add each job's queue-wait/execute split to its
+                         report (the same "observability"."request"
+                         section serve responses and single-mode
+                         --metrics reports carry). Off by default:
+                         timing fields make per-job reports
+                         non-byte-comparable across runs
+
+Serve mode runs a long-lived compile daemon: one JSON request object
+per line in, one JSON response line per request out (protocol and
+schemas: docs/serving.md). Requests carry priorities and deadlines; a
+max-in-flight admission gate sheds overload with explicit backpressure
+responses, duplicate in-flight requests coalesce onto one compile, and
+a status op reports rolling latency quantiles and cache outcomes:
+  --socket PATH          listen on a Unix-domain socket; without it the
+                         daemon serves one session on stdin/stdout
+  --pid-file FILE        write the daemon pid once the socket is
+                         listening (the file doubles as the readiness
+                         signal for scripts; --socket only)
+  --max-inflight N       concurrent compiles (default 1)
+  --max-queue N          admitted requests waiting behind them
+                         (default 16); an arriving request beyond this
+                         either evicts a strictly lower-priority entry
+                         or is shed with a backpressure response
+  --status-every N       emit a status line to stderr every N completed
+                         compiles (default 0 = off)
+  --cache-capacity N     compiled plans kept in memory (default 256)
+  --cache-dir DIR        persistent plan cache; lookups go memory ->
+                         disk -> neighbor -> cold and responses say
+                         which step served them
+  --search-threads N     plan-search threads inside each compile
+                         (default 1)
+  --trace FILE           Chrome trace-event JSON covering the whole
+                         serve run, written on exit
+  --metrics FILE         JSON metrics snapshot written on exit
+  --connect PATH         client mode: connect to a serving daemon,
+                         send the --script request lines ('#' comments
+                         and blanks skipped), print every response
+  --script FILE          request lines for --connect (required with it)
 
 Cache mode maintains a --cache-dir populated by earlier runs; every
 verb prints a JSON report to stdout:
@@ -155,6 +200,9 @@ Examples:
   cmswitchc --model resnet18 --emit-json resnet18.json --stats
   cmswitchc --model bert-base --stats --trace bert.trace.json
   cmswitchc batch --jobs jobs.txt --threads 4 --out-dir reports/
+  cmswitchc serve --socket /tmp/cmswitch.sock --max-inflight 2 \
+      --pid-file /tmp/cmswitch.pid --cache-dir plans/
+  cmswitchc serve --connect /tmp/cmswitch.sock --script requests.txt
   cmswitchc cache gc --cache-dir plans/ --max-bytes 104857600
 )";
 
@@ -453,6 +501,7 @@ singleMain(int argc, char **argv)
     request.searchThreads = args.searchThreads;
 
     ArtifactPtr artifact;
+    auto executeStart = std::chrono::steady_clock::now();
     if (args.cacheDir.empty()) {
         artifact = compileArtifact(request);
     } else {
@@ -476,6 +525,13 @@ singleMain(int argc, char **argv)
                       << " in " << disk.directory() << "\n";
         }
     }
+    // Same queue-wait/execute split the serve daemon and batch jobs
+    // report; single mode has no queue, so the wait is identically 0.
+    ServiceRequestLatency latency;
+    latency.executeSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - executeStart)
+            .count();
     if (args.optimize) {
         std::cerr << "cmswitchc: frontend passes removed "
                   << artifact->passStats.removedOps << " op(s)\n";
@@ -505,9 +561,14 @@ singleMain(int argc, char **argv)
     session.finish(args.traceFile, args.metricsFile);
 
     if (!args.emitJson.empty()) {
+        // The latency section rides with the metrics snapshot: both are
+        // timing-dependent, so reports without --trace/--metrics stay
+        // byte-comparable across runs (json_smoke pins this).
         writeTextFile(args.emitJson,
                       renderCompileReport(*artifact,
-                                          session.registry.get()));
+                                          session.registry.get(),
+                                          session.registry ? &latency
+                                                           : nullptr));
         std::cerr << "cmswitchc: report written to " << args.emitJson
                   << "\n";
     }
@@ -614,6 +675,7 @@ struct BatchArgs
     s64 threads = 1;
     s64 cacheCapacity = 256;
     s64 searchThreads = 1;
+    bool jobLatency = false;
 };
 
 BatchArgs
@@ -646,6 +708,8 @@ parseBatchArgs(int argc, char **argv)
             args.searchThreads = nextInt(1);
         else if (flag == "--trace")
             args.traceFile = next();
+        else if (flag == "--job-latency")
+            args.jobLatency = true;
         else if (flag == "--help") {
             std::cout << kUsage;
             std::exit(0);
@@ -751,10 +815,15 @@ batchMain(int argc, char **argv)
                             .searchThreads = batch.searchThreads,
                             .cacheDir = batch.cacheDir});
 
+    // Stable addresses for the per-job latency out-structs: workers
+    // write them before their futures become ready (--job-latency).
+    std::vector<ServiceRequestLatency> latencies(jobs.size());
     std::vector<std::future<ArtifactPtr>> futures;
     futures.reserve(jobs.size());
-    for (const BatchJob &job : jobs)
-        futures.push_back(service.submit(job.request));
+    for (std::size_t k = 0; k < jobs.size(); ++k)
+        futures.push_back(service.submit(
+            jobs[k].request,
+            batch.jobLatency ? &latencies[k] : nullptr));
 
     s64 invalid = 0;
     for (std::size_t k = 0; k < jobs.size(); ++k) {
@@ -771,7 +840,10 @@ batchMain(int argc, char **argv)
         }
         writeTextFile((std::filesystem::path(batch.outDir)
                        / jobs[k].reportFile).string(),
-                      renderCompileReport(*artifact));
+                      renderCompileReport(*artifact, nullptr,
+                                          batch.jobLatency
+                                              ? &latencies[k]
+                                              : nullptr));
     }
     auto t1 = std::chrono::steady_clock::now();
     double wall = std::chrono::duration<double>(t1 - t0).count();
@@ -873,6 +945,123 @@ batchMain(int argc, char **argv)
               << "cmswitchc: summary written to " << batch.summaryFile
               << "\n";
     return invalid == 0 ? 0 : 1;
+}
+
+struct ServeArgs
+{
+    std::string socketPath;
+    std::string pidFile;
+    std::string connectPath;
+    std::string scriptFile;
+    std::string cacheDir;
+    std::string traceFile;
+    std::string metricsFile;
+    s64 maxInflight = 1;
+    s64 maxQueue = 16;
+    s64 statusEvery = 0;
+    s64 cacheCapacity = 256;
+    s64 searchThreads = 1;
+};
+
+ServeArgs
+parseServeArgs(int argc, char **argv)
+{
+    ServeArgs args;
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError(flag + " needs a value");
+            return argv[++i];
+        };
+        auto nextInt = [&](s64 min_value) -> s64 {
+            return parseIntToken(flag, next(), min_value, "");
+        };
+        if (flag == "--socket")
+            args.socketPath = next();
+        else if (flag == "--pid-file")
+            args.pidFile = next();
+        else if (flag == "--connect")
+            args.connectPath = next();
+        else if (flag == "--script")
+            args.scriptFile = next();
+        else if (flag == "--max-inflight")
+            args.maxInflight = nextInt(1);
+        else if (flag == "--max-queue")
+            args.maxQueue = nextInt(1);
+        else if (flag == "--status-every")
+            args.statusEvery = nextInt(0);
+        else if (flag == "--cache-capacity")
+            args.cacheCapacity = nextInt(1);
+        else if (flag == "--cache-dir")
+            args.cacheDir = next();
+        else if (flag == "--search-threads")
+            args.searchThreads = nextInt(1);
+        else if (flag == "--trace")
+            args.traceFile = next();
+        else if (flag == "--metrics")
+            args.metricsFile = next();
+        else if (flag == "--help") {
+            std::cout << kUsage;
+            std::exit(0);
+        } else {
+            usageError("unknown serve flag '" + flag + "'");
+        }
+    }
+    if (!args.connectPath.empty() && args.scriptFile.empty())
+        usageError("serve --connect requires --script");
+    if (args.connectPath.empty() && !args.scriptFile.empty())
+        usageError("serve --script only makes sense with --connect");
+    if (!args.connectPath.empty() && !args.socketPath.empty())
+        usageError("serve --connect (client) and --socket (daemon) are "
+                   "mutually exclusive");
+    if (!args.pidFile.empty() && args.socketPath.empty())
+        usageError("serve --pid-file requires --socket");
+    return args;
+}
+
+/** `cmswitchc serve`: the long-lived compile daemon (docs/serving.md),
+ *  or — with --connect — the script-driven client that tests and
+ *  operators use to talk to one. */
+int
+serveMain(int argc, char **argv)
+{
+    ServeArgs args = parseServeArgs(argc, argv);
+    if (!args.connectPath.empty())
+        return runServeClient(args.connectPath, args.scriptFile);
+
+    installServeSignalHandlers();
+    ObsSession session;
+    session.start(args.traceFile, args.metricsFile);
+    obs::setGauge(obs::Gau::kSearchThreads, args.searchThreads);
+
+    int exitCode = 0;
+    {
+        // stdin mode answers on stdout (fd 1); socket mode retargets
+        // the writer at each accepted connection.
+        ServeWriter writer(args.socketPath.empty() ? 1 : -1);
+        ServeEngineOptions options;
+        options.maxInflight = args.maxInflight;
+        options.maxQueue = args.maxQueue;
+        options.statusEvery = args.statusEvery;
+        options.service.cacheCapacity = args.cacheCapacity;
+        options.service.searchThreads = args.searchThreads;
+        options.service.cacheDir = args.cacheDir;
+        ServeEngine engine(
+            options,
+            [&writer](const std::string &line) { writer.writeLine(line); },
+            [](const std::string &line) { std::cerr << line + "\n"; });
+        if (args.socketPath.empty()) {
+            runServeSession(engine, 0);
+            engine.drainIdle();
+            std::cerr << "cmswitchc: serve: session ended\n";
+        } else {
+            exitCode = runServeSocketDaemon(engine, writer,
+                                            args.socketPath, args.pidFile);
+        }
+    } // engine destructor: drain admitted work, join the workers
+    session.finish(args.traceFile, args.metricsFile);
+    return exitCode;
 }
 
 /** `cmswitchc cache <gc|stats|verify>`: plan-cache lifecycle ops. All
@@ -993,6 +1182,8 @@ cliMain(int argc, char **argv)
 {
     if (argc > 1 && std::string(argv[1]) == "batch")
         return batchMain(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "serve")
+        return serveMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "cache")
         return cacheMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "fingerprint")

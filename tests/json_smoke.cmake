@@ -39,7 +39,7 @@ function(expect_json_positive)
     endif()
 endfunction()
 
-expect_json_equal("cmswitch-compile-report-v1" schema)
+expect_json_equal("cmswitch-compile-report-v2" schema)
 expect_json_equal("dynaplasia" chip)
 expect_json_equal("edram" technology)
 expect_json_equal("cmswitch" compiler)

@@ -1,9 +1,11 @@
-/** @file Tests for the ordered JSON writer (support/json.hpp). */
+/** @file Tests for the ordered JSON writer (support/json.hpp) and the
+ *  strict parser that reads it back (support/json_parse.hpp). */
 
 #include <gtest/gtest.h>
 
 #include "support/hash.hpp"
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 
 namespace cmswitch {
 namespace {
@@ -113,6 +115,115 @@ TEST(JsonWriterDeath, StrWithOpenContainerPanics)
 TEST(JsonWriterDeath, NonFiniteNumberPanics)
 {
     EXPECT_DEATH(jsonNumber(1.0 / 0.0), "non-finite");
+}
+
+TEST(JsonParse, ReadsScalarsArraysAndNestedObjects)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(
+        R"({"a": 1, "b": [true, null, "x"], "c": {"d": -2.5}})", &doc,
+        &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->isIntegral);
+    EXPECT_EQ(a->intValue, 1);
+    const JsonValue *b = doc.find("b");
+    ASSERT_TRUE(b && b->isArray());
+    ASSERT_EQ(b->items.size(), 3u);
+    EXPECT_TRUE(b->items[0].boolValue);
+    EXPECT_TRUE(b->items[1].isNull());
+    EXPECT_EQ(b->items[2].stringValue, "x");
+    const JsonValue *d = doc.find("c")->find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->isIntegral);
+    EXPECT_DOUBLE_EQ(d->numberValue, -2.5);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesLargeIntegersExactly)
+{
+    // 2^53 + 1 is not representable as a double; the protocol's s64
+    // fields must survive anyway.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson("9007199254740993", &doc, &error)) << error;
+    EXPECT_TRUE(doc.isIntegral);
+    EXPECT_EQ(doc.intValue, 9007199254740993);
+}
+
+TEST(JsonParse, DecodesEscapesIncludingSurrogatePairs)
+{
+    JsonValue doc;
+    std::string error;
+    // \u00e9 = é; the surrogate pair \ud83d\ude00 = U+1F600.
+    ASSERT_TRUE(parseJson(R"("a\"\\\n\tA\u00e9\ud83d\ude00")", &doc,
+                          &error))
+        << error;
+    EXPECT_EQ(doc.stringValue, "a\"\\\n\tA\xc3\xa9\xf0\x9f\x98\x80");
+    // A lone high surrogate is malformed.
+    EXPECT_FALSE(parseJson(R"("\ud83d")", &doc, &error));
+    // Raw control characters must be escaped.
+    EXPECT_FALSE(parseJson("\"a\nb\"", &doc, &error));
+}
+
+TEST(JsonParse, RejectsMalformedDocumentsWithByteOffsets)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(parseJson("", &doc, &error));
+    EXPECT_FALSE(parseJson("{", &doc, &error));
+    EXPECT_FALSE(parseJson("{\"a\":1,}", &doc, &error));
+    EXPECT_FALSE(parseJson("[1 2]", &doc, &error));
+    EXPECT_FALSE(parseJson("truth", &doc, &error));
+    EXPECT_FALSE(parseJson("01", &doc, &error));
+    EXPECT_FALSE(parseJson("1e999", &doc, &error)); // overflows double
+    // Trailing garbage after a complete value is an error.
+    EXPECT_FALSE(parseJson("{} {}", &doc, &error));
+    EXPECT_NE(error.find("byte"), std::string::npos) << error;
+    // Duplicate keys are rejected, not last-one-wins.
+    EXPECT_FALSE(parseJson(R"({"k":1,"k":2})", &doc, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(JsonParse, BoundsRecursionDepth)
+{
+    // Hostile nesting fails with a message instead of blowing the stack.
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, &doc, &error));
+    EXPECT_NE(error.find("deep"), std::string::npos) << error;
+    // Depth at the limit is fine.
+    std::string ok(30, '[');
+    ok += std::string(30, ']');
+    EXPECT_TRUE(parseJson(ok, &doc, &error)) << error;
+}
+
+TEST(JsonParse, RoundTripsTheWriter)
+{
+    // The pair contract: anything JsonWriter emits, parseJson reads
+    // back value-for-value (including compact mode with indent 0).
+    JsonWriter w(0);
+    w.beginObject()
+        .field("name", "serve \"smoke\"\n")
+        .field("count", s64{42})
+        .field("ratio", 0.125)
+        .field("on", true);
+    w.key("list").beginArray().value(s64{1}).value(s64{2}).endArray();
+    w.endObject();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(w.str(), &doc, &error)) << error;
+    EXPECT_EQ(doc.find("name")->stringValue, "serve \"smoke\"\n");
+    EXPECT_EQ(doc.find("count")->intValue, 42);
+    EXPECT_DOUBLE_EQ(doc.find("ratio")->numberValue, 0.125);
+    EXPECT_TRUE(doc.find("on")->boolValue);
+    EXPECT_EQ(doc.find("list")->items.size(), 2u);
 }
 
 TEST(Fnv1a, StableAndSensitive)

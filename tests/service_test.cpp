@@ -325,7 +325,7 @@ TEST(JsonReport, DeterministicAcrossEqualRequests)
     std::string first = renderCompileReport(*compileArtifact(request));
     std::string second = renderCompileReport(*compileArtifact(request));
     EXPECT_EQ(first, second);
-    EXPECT_NE(first.find("\"schema\": \"cmswitch-compile-report-v1\""),
+    EXPECT_NE(first.find("\"schema\": \"cmswitch-compile-report-v2\""),
               std::string::npos);
     EXPECT_NE(first.find("\"valid\": true"), std::string::npos);
 }

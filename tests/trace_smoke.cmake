@@ -135,12 +135,28 @@ foreach(span disk_cache.load disk_cache.store)
 endforeach()
 
 # --- 5. the --emit-json report gained the observability section -------
+# v2 shape: "observability" holds the per-request queue-wait/execute
+# split under "request" and the metrics snapshot under "metrics"
+# (docs/schemas.md) — the same shape serve responses and batch
+# --job-latency reports use.
 file(READ ${WORK_DIR}/report.json report_doc)
 string(JSON seg_count GET "${report_doc}"
-       observability quantiles phase.segment_seconds count)
+       observability metrics quantiles phase.segment_seconds count)
 if(NOT seg_count GREATER 0)
     message(FATAL_ERROR "report observability phase.segment_seconds count: "
                         "expected > 0, got '${seg_count}'")
+endif()
+string(JSON exec_seconds GET "${report_doc}"
+       observability request execute_seconds)
+if(exec_seconds LESS_EQUAL 0)
+    message(FATAL_ERROR "report observability request execute_seconds: "
+                        "expected > 0, got '${exec_seconds}'")
+endif()
+string(JSON wait_seconds GET "${report_doc}"
+       observability request queue_wait_seconds)
+if(NOT wait_seconds EQUAL 0)
+    message(FATAL_ERROR "single-mode queue_wait_seconds: expected 0, "
+                        "got '${wait_seconds}'")
 endif()
 
 message(STATUS "trace_smoke: all checks passed "
