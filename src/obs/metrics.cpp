@@ -81,6 +81,94 @@ bucketMidpoint(int index)
     return std::ldexp(fraction, exponent);
 }
 
+/** @{ Value range of bucket @p index: [lower, upper). The underflow
+ *  bucket starts at 0; the overflow bucket is collapsed onto its lower
+ *  edge (same convention as bucketMidpoint). */
+static double
+bucketLowerEdge(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    if (index >= LogHistogram::kBuckets - 1)
+        return std::ldexp(1.0, LogHistogram::kMaxExponent);
+    int flat = index - 1;
+    int octave = flat / LogHistogram::kSubBuckets;
+    int sub = flat % LogHistogram::kSubBuckets;
+    int exponent = LogHistogram::kMinExponent + 1 + octave;
+    double fraction =
+        0.5 * (1.0 + static_cast<double>(sub) / LogHistogram::kSubBuckets);
+    return std::ldexp(fraction, exponent);
+}
+
+static double
+bucketUpperEdge(int index)
+{
+    if (index <= 0)
+        return std::ldexp(1.0, LogHistogram::kMinExponent);
+    if (index >= LogHistogram::kBuckets - 1)
+        return std::ldexp(1.0, LogHistogram::kMaxExponent);
+    return bucketLowerEdge(index + 1);
+}
+/** @} */
+
+void
+LogHistogram::copyFrom(const LogHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[static_cast<std::size_t>(i)].store(
+            other.buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+void
+LogHistogram::subtractSnapshot(const LogHistogram &earlier)
+{
+    s64 remaining = 0;
+    int first = -1;
+    int last = -1;
+    for (int i = 0; i < kBuckets; ++i) {
+        std::size_t b = static_cast<std::size_t>(i);
+        s64 left = buckets_[b].load(std::memory_order_relaxed)
+                   - earlier.buckets_[b].load(std::memory_order_relaxed);
+        if (left < 0) // not actually an earlier snapshot; clamp
+            left = 0;
+        buckets_[b].store(left, std::memory_order_relaxed);
+        if (left > 0) {
+            remaining += left;
+            if (first < 0)
+                first = i;
+            last = i;
+        }
+    }
+    count_.store(remaining, std::memory_order_relaxed);
+    if (remaining == 0) {
+        sum_.store(0.0, std::memory_order_relaxed);
+        min_.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+        max_.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+        return;
+    }
+    double sumLeft = sum_.load(std::memory_order_relaxed)
+                     - earlier.sum_.load(std::memory_order_relaxed);
+    if (sumLeft < 0.0) // float round-off across the subtraction
+        sumLeft = 0.0;
+    sum_.store(sumLeft, std::memory_order_relaxed);
+    // Cumulative min/max do not localize to the interval; bucket
+    // bounds of the surviving samples are the tightest safe envelope.
+    min_.store(bucketLowerEdge(first), std::memory_order_relaxed);
+    max_.store(bucketUpperEdge(last), std::memory_order_relaxed);
+}
+
 void
 LogHistogram::record(double value)
 {

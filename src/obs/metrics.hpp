@@ -94,6 +94,22 @@ class LogHistogram
 
     LogHistogram() { reset(); }
 
+    /** @{ Copyable (relaxed-load snapshot): a copy is a consistent-
+     *  enough point-in-time view for interval deltas and report
+     *  aggregation; it is not a linearizable snapshot under concurrent
+     *  record(), which is fine for every current caller (serve status
+     *  copies under the engine mutex, the simulator is
+     *  single-threaded). */
+    LogHistogram(const LogHistogram &other) { copyFrom(other); }
+    LogHistogram &
+    operator=(const LogHistogram &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+    /** @} */
+
     /** Record one sample; negatives clamp to 0, NaN is dropped. */
     void record(double value);
 
@@ -108,6 +124,19 @@ class LogHistogram
     /** Fold @p other into this histogram (exact: same bucket layout). */
     void merge(const LogHistogram &other);
 
+    /**
+     * merge() inverted: subtract @p earlier — a previous snapshot
+     * (copy) of *this histogram* — leaving only the samples recorded
+     * since. Bucket counts, count and sum subtract exactly (same
+     * layout); the interval's min/max are not recoverable from
+     * cumulative extremes, so they are re-derived as the bounds of the
+     * first/last surviving bucket — within the estimator's documented
+     * kMaxRelativeError, and quantile() stays clamped inside them.
+     * Calling this with anything but an earlier snapshot of the same
+     * histogram gives meaningless (clamped-at-zero) results.
+     */
+    void subtractSnapshot(const LogHistogram &earlier);
+
     /** Zero all state. Not atomic w.r.t. concurrent record(). */
     void reset();
 
@@ -118,6 +147,8 @@ class LogHistogram
     static int bucketIndex(double value);
 
   private:
+    void copyFrom(const LogHistogram &other);
+
     std::array<std::atomic<s64>, kBuckets> buckets_;
     std::atomic<s64> count_;
     std::atomic<double> sum_;

@@ -88,7 +88,7 @@ ServeEngine::emitStatus()
 {
     if (!onStatus_)
         return;
-    std::string line = statusJson();
+    std::string line = statusLine("", /*interval=*/true);
     std::lock_guard<std::mutex> lock(emitMutex_);
     onStatus_(line);
 }
@@ -121,7 +121,7 @@ ServeEngine::handleLine(const std::string &line)
         handleCompile(request);
         return true;
     case ServeRequest::Op::kStatus:
-        emit(statusLine(request.id));
+        emit(statusLine(request.id, /*interval=*/false));
         return true;
     case ServeRequest::Op::kHold:
         {
@@ -388,13 +388,16 @@ ServeEngine::workerLoop()
             for (const std::string &riderId : finished.riderIds)
                 emit(renderServeError(riderId, compileError));
         }
+        // The periodic line goes out before this group's pendingEmits_
+        // credit is returned, so drainIdle() (and thus "drain") also
+        // guarantees every due periodic status line has been written.
+        if (statusDue)
+            emitStatus();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --pendingEmits_;
             notifyIfIdleLocked();
         }
-        if (statusDue)
-            emitStatus();
     }
 }
 
@@ -417,7 +420,7 @@ ServeEngine::drainIdle()
 }
 
 std::string
-ServeEngine::statusLine(const std::string &id)
+ServeEngine::statusLine(const std::string &id, bool interval)
 {
     CompileServiceStats serviceStats = service_.stats();
     JsonWriter w(0);
@@ -472,6 +475,31 @@ ServeEngine::statusLine(const std::string &id)
     w.key("total_seconds");
     totalHist_.writeJson(w);
     w.endObject();
+    if (interval) {
+        // True deltas since the previous periodic line: snapshot the
+        // cumulative histograms then subtract the last snapshot —
+        // exact for counts and sums, bucket-bound min/max (see
+        // LogHistogram::subtractSnapshot).
+        obs::LogHistogram queueWaitDelta = queueWaitHist_;
+        obs::LogHistogram executeDelta = executeHist_;
+        obs::LogHistogram totalDelta = totalHist_;
+        queueWaitDelta.subtractSnapshot(queueWaitSnap_);
+        executeDelta.subtractSnapshot(executeSnap_);
+        totalDelta.subtractSnapshot(totalSnap_);
+        w.key("interval").beginObject();
+        w.field("completed", completed_ - completedSnap_);
+        w.key("queue_wait_seconds");
+        queueWaitDelta.writeJson(w);
+        w.key("execute_seconds");
+        executeDelta.writeJson(w);
+        w.key("total_seconds");
+        totalDelta.writeJson(w);
+        w.endObject();
+        queueWaitSnap_ = queueWaitHist_;
+        executeSnap_ = executeHist_;
+        totalSnap_ = totalHist_;
+        completedSnap_ = completed_;
+    }
     w.endObject();
     return w.str();
 }
@@ -479,7 +507,7 @@ ServeEngine::statusLine(const std::string &id)
 std::string
 ServeEngine::statusJson()
 {
-    return statusLine("");
+    return statusLine("", /*interval=*/false);
 }
 
 } // namespace cmswitch

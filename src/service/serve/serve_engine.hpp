@@ -22,8 +22,15 @@
  *  - Latency accounting: every completed request records queue-wait
  *    (receipt -> worker pickup), execute (pickup -> artifact) and
  *    total seconds into LogHistograms, reported as p50/p90/p95/p99 in
- *    the cmswitch-serve-status-v1 document and mirrored to the global
- *    obs:: registry when one is installed (--trace/--metrics).
+ *    the cmswitch-serve-status-v2 document and mirrored to the global
+ *    obs:: registry when one is installed (--trace/--metrics). The
+ *    quantiles are *cumulative since daemon start*; periodic
+ *    --status-every lines additionally carry an "interval" block —
+ *    true deltas since the previous periodic line, computed by
+ *    snapshot-and-subtract on the histograms (LogHistogram::
+ *    subtractSnapshot). The on-demand "status" op never advances the
+ *    snapshot, so scripted status probes cannot perturb the periodic
+ *    intervals.
  *  - Scripting ops for determinism: "hold" parks the workers so a test
  *    can fill the queue and force exact admission/coalescing/deadline
  *    decisions, "release" resumes, "drain" acks once the engine is
@@ -104,7 +111,8 @@ class ServeEngine
      *  this until released. */
     void drainIdle();
 
-    /** The cmswitch-serve-status-v1 document (compact one-liner). */
+    /** The cmswitch-serve-status-v2 document (compact one-liner,
+     *  cumulative counters/quantiles, no interval block). */
     std::string statusJson();
 
     const CompileServiceOptions &serviceOptions() const
@@ -132,8 +140,11 @@ class ServeEngine
      *  still being written to the sink. Caller must hold mutex_. */
     void notifyIfIdleLocked();
 
-    /** statusJson() with the requesting id echoed ("" for periodic). */
-    std::string statusLine(const std::string &id);
+    /** statusJson() with the requesting id echoed ("" for periodic).
+     *  @p interval appends the delta block since the last periodic
+     *  line and advances the snapshot — periodic emits only, so the
+     *  "status" op stays a pure read. */
+    std::string statusLine(const std::string &id, bool interval);
 
     /** Serialize @p line to the response sink. */
     void emit(const std::string &line);
@@ -181,10 +192,20 @@ class ServeEngine
     std::array<s64, 4> cacheOutcomes_{}; ///< indexed by CacheOutcome
     /** @} */
 
-    /** Latency estimators (internally thread-safe). */
+    /** Latency estimators, cumulative since start (internally
+     *  thread-safe; written under mutex_ anyway). */
     obs::LogHistogram queueWaitHist_;
     obs::LogHistogram executeHist_;
     obs::LogHistogram totalHist_;
+
+    /** @{ State of the *previous* periodic status line: subtracting it
+     *  from the cumulative estimators yields the interval block.
+     *  Guarded by mutex_. */
+    obs::LogHistogram queueWaitSnap_;
+    obs::LogHistogram executeSnap_;
+    obs::LogHistogram totalSnap_;
+    s64 completedSnap_ = 0;
+    /** @} */
 
     std::mutex emitMutex_; ///< serializes the response sink
     std::vector<std::thread> workers_;

@@ -6,74 +6,12 @@
 #include "eval/evaluation.hpp"
 #include "models/model_zoo.hpp"
 #include "support/json.hpp"
+#include "support/json_fields.hpp"
 #include "support/json_parse.hpp"
 
 namespace cmswitch {
 
 namespace {
-
-bool
-failWith(std::string *error, std::string message)
-{
-    if (error)
-        *error = std::move(message);
-    return false;
-}
-
-/** Typed field extractors: absent is fine, wrong type is an error. */
-bool
-takeString(const JsonValue &object, const char *key, std::string *out,
-           std::string *error)
-{
-    const JsonValue *value = object.find(key);
-    if (!value)
-        return true;
-    if (!value->isString())
-        return failWith(error, std::string("'") + key
-                                   + "' must be a string");
-    *out = value->stringValue;
-    return true;
-}
-
-bool
-takeInt(const JsonValue &object, const char *key, s64 minValue, s64 *out,
-        bool *present, std::string *error)
-{
-    const JsonValue *value = object.find(key);
-    if (!value)
-        return true;
-    if (!value->isNumber() || !value->isIntegral)
-        return failWith(error, std::string("'") + key
-                                   + "' must be an integer");
-    if (value->intValue < minValue)
-        return failWith(error, std::string("'") + key + "' must be >= "
-                                   + std::to_string(minValue));
-    *out = value->intValue;
-    if (present)
-        *present = true;
-    return true;
-}
-
-bool
-takeBool(const JsonValue &object, const char *key, bool *out,
-         std::string *error)
-{
-    const JsonValue *value = object.find(key);
-    if (!value)
-        return true;
-    if (!value->isBool())
-        return failWith(error, std::string("'") + key
-                                   + "' must be a boolean");
-    *out = value->boolValue;
-    return true;
-}
-
-bool
-isTransformerName(const std::string &name)
-{
-    return name == "bert-base" || name == "bert-large" || name == "gpt"
-        || name == "llama2-7b" || name == "opt-6.7b" || name == "opt-13b";
-}
 
 bool
 isCnnName(const std::string &name)
@@ -85,6 +23,34 @@ isCnnName(const std::string &name)
 } // namespace
 
 bool
+serveChipKnown(const std::string &chip)
+{
+    return chip == "dynaplasia" || chip == "prime";
+}
+
+bool
+serveCompilerKnown(const std::string &compiler)
+{
+    return compiler == "cmswitch" || compiler == "cim-mlc"
+        || compiler == "occ" || compiler == "puma";
+}
+
+bool
+serveModelIsTransformer(const std::string &model)
+{
+    return model == "bert-base" || model == "bert-large" || model == "gpt"
+        || model == "llama2-7b" || model == "opt-6.7b"
+        || model == "opt-13b";
+}
+
+bool
+serveModelKnown(const std::string &model)
+{
+    return serveModelIsTransformer(model) || isCnnName(model)
+        || model == "tiny-mlp";
+}
+
+bool
 parseServeRequest(const std::string &line, ServeRequest *out,
                   std::string *error)
 {
@@ -92,11 +58,11 @@ parseServeRequest(const std::string &line, ServeRequest *out,
     if (!parseJson(line, &doc, error))
         return false;
     if (!doc.isObject())
-        return failWith(error, "request must be a JSON object");
+        return jsonFail(error, "request must be a JSON object");
 
     *out = ServeRequest();
     std::string op;
-    if (!takeString(doc, "op", &op, error))
+    if (!jsonTakeString(doc, "op", &op, error))
         return false;
     if (op == "compile")
         out->op = ServeRequest::Op::kCompile;
@@ -111,11 +77,11 @@ parseServeRequest(const std::string &line, ServeRequest *out,
     else if (op == "shutdown")
         out->op = ServeRequest::Op::kShutdown;
     else if (op.empty())
-        return failWith(error, "missing 'op'");
+        return jsonFail(error, "missing 'op'");
     else
-        return failWith(error, "unknown op '" + op + "'");
+        return jsonFail(error, "unknown op '" + op + "'");
 
-    if (!takeString(doc, "id", &out->id, error))
+    if (!jsonTakeString(doc, "id", &out->id, error))
         return false;
 
     // Strictness: a typo'd key must not silently compile something
@@ -130,10 +96,10 @@ parseServeRequest(const std::string &line, ServeRequest *out,
         for (const char *allowed : kCompileKeys)
             known = known || key == allowed;
         if (!known)
-            return failWith(error, "unknown key '" + key + "'");
+            return jsonFail(error, "unknown key '" + key + "'");
         if (out->op != ServeRequest::Op::kCompile && key != "op"
             && key != "id")
-            return failWith(error, "'" + key + "' is only valid with "
+            return jsonFail(error, "'" + key + "' is only valid with "
                                        "op compile");
     }
 
@@ -141,23 +107,23 @@ parseServeRequest(const std::string &line, ServeRequest *out,
         return true;
 
     if (out->id.empty())
-        return failWith(error, "compile requests need a non-empty 'id'");
-    if (!takeString(doc, "model", &out->model, error)
-        || !takeString(doc, "chip", &out->chip, error)
-        || !takeString(doc, "compiler", &out->compiler, error)
-        || !takeInt(doc, "batch", 1, &out->batch, nullptr, error)
-        || !takeInt(doc, "seq", 1, &out->seq, nullptr, error)
-        || !takeInt(doc, "decode", 0, &out->decodeKv, nullptr, error)
-        || !takeInt(doc, "layers", 0, &out->layers, nullptr, error)
-        || !takeBool(doc, "optimize", &out->optimize, error)
-        || !takeInt(doc, "priority", std::numeric_limits<s64>::min(),
+        return jsonFail(error, "compile requests need a non-empty 'id'");
+    if (!jsonTakeString(doc, "model", &out->model, error)
+        || !jsonTakeString(doc, "chip", &out->chip, error)
+        || !jsonTakeString(doc, "compiler", &out->compiler, error)
+        || !jsonTakeInt(doc, "batch", 1, &out->batch, nullptr, error)
+        || !jsonTakeInt(doc, "seq", 1, &out->seq, nullptr, error)
+        || !jsonTakeInt(doc, "decode", 0, &out->decodeKv, nullptr, error)
+        || !jsonTakeInt(doc, "layers", 0, &out->layers, nullptr, error)
+        || !jsonTakeBool(doc, "optimize", &out->optimize, error)
+        || !jsonTakeInt(doc, "priority", std::numeric_limits<s64>::min(),
                     &out->priority, nullptr, error)
-        || !takeInt(doc, "deadline_ms", 0, &out->deadlineMs,
+        || !jsonTakeInt(doc, "deadline_ms", 0, &out->deadlineMs,
                     &out->hasDeadline, error)) {
         return false;
     }
     if (out->model.empty())
-        return failWith(error, "compile requests need a 'model'");
+        return jsonFail(error, "compile requests need a 'model'");
     return true;
 }
 
@@ -170,19 +136,18 @@ resolveServeRequest(const ServeRequest &request, CompileRequest *out,
     else if (request.chip == "prime")
         out->chip = ChipConfig::prime();
     else
-        return failWith(error, "unknown chip '" + request.chip
+        return jsonFail(error, "unknown chip '" + request.chip
                                    + "' (serve accepts the presets "
                                      "dynaplasia and prime)");
 
-    if (request.compiler != "cmswitch" && request.compiler != "cim-mlc"
-        && request.compiler != "occ" && request.compiler != "puma") {
-        return failWith(error,
+    if (!serveCompilerKnown(request.compiler)) {
+        return jsonFail(error,
                         "unknown compiler '" + request.compiler + "'");
     }
     out->compilerId = request.compiler;
     out->optimize = request.optimize;
 
-    if (isTransformerName(request.model)) {
+    if (serveModelIsTransformer(request.model)) {
         TransformerConfig cfg = transformerConfigByName(request.model);
         if (request.layers > 0)
             cfg.layers = request.layers;
@@ -194,7 +159,7 @@ resolveServeRequest(const ServeRequest &request, CompileRequest *out,
         return true;
     }
     if (request.decodeKv > 0 || request.layers > 0) {
-        return failWith(error, "'decode'/'layers' need a transformer "
+        return jsonFail(error, "'decode'/'layers' need a transformer "
                                "model, got '" + request.model + "'");
     }
     if (isCnnName(request.model)) {
@@ -205,7 +170,7 @@ resolveServeRequest(const ServeRequest &request, CompileRequest *out,
         out->workload = buildTinyMlp(request.batch);
         return true;
     }
-    return failWith(error, "unknown model '" + request.model
+    return jsonFail(error, "unknown model '" + request.model
                                + "' (serve accepts zoo model names and "
                                  "tiny-mlp, not file paths)");
 }

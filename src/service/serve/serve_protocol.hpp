@@ -41,7 +41,7 @@ namespace cmswitch {
 inline constexpr const char *kServeResponseSchema =
     "cmswitch-serve-response-v1";
 inline constexpr const char *kServeStatusSchema =
-    "cmswitch-serve-status-v1";
+    "cmswitch-serve-status-v2";
 
 /** One parsed request line. */
 struct ServeRequest
@@ -86,6 +86,15 @@ bool parseServeRequest(const std::string &line, ServeRequest *out,
  */
 bool resolveServeRequest(const ServeRequest &request, CompileRequest *out,
                          std::string *error);
+
+/** @{ The serve name tables (chip presets, compilers, zoo models +
+ *  tiny-mlp), shared with the sim scenario parser so simulated and
+ *  real requests resolve against exactly the same vocabulary. */
+bool serveChipKnown(const std::string &chip);
+bool serveCompilerKnown(const std::string &compiler);
+bool serveModelKnown(const std::string &model);
+bool serveModelIsTransformer(const std::string &model);
+/** @} */
 
 /** @{ Response renderers (compact one-line JSON, no trailing \n). */
 std::string renderServeAck(const std::string &id, const char *op);

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The discrete-event calendar: a min-heap of timestamped events with a
+ * deterministic total order.
+ *
+ * Heap order is (time, insertion tick) — two events at the same
+ * instant pop in the order they were scheduled, never in an
+ * implementation-defined heap order. That tick is what makes the whole
+ * simulator's output byte-reproducible: simultaneous arrival and
+ * completion events (common with deterministic service times) would
+ * otherwise resolve differently across standard libraries.
+ */
+
+#ifndef CMSWITCH_SIM_SERVING_EVENT_QUEUE_HPP
+#define CMSWITCH_SIM_SERVING_EVENT_QUEUE_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+/** One calendar entry. */
+struct SimEvent
+{
+    enum class Kind { kArrival, kCompletion };
+
+    double time = 0.0;
+    Kind kind = Kind::kArrival;
+    std::size_t chip = 0; ///< completing chip (kCompletion only)
+    u64 tick = 0;         ///< insertion order; assigned by the calendar
+};
+
+class EventCalendar
+{
+  public:
+    void
+    push(SimEvent event)
+    {
+        event.tick = nextTick_++;
+        heap_.push_back(event);
+        std::push_heap(heap_.begin(), heap_.end(), after);
+    }
+
+    /** Pop the earliest event; false when the calendar is empty. */
+    bool
+    pop(SimEvent *out)
+    {
+        if (heap_.empty())
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), after);
+        *out = heap_.back();
+        heap_.pop_back();
+        return true;
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    /** Max-heap comparator inverted: true when @p a runs after @p b. */
+    static bool
+    after(const SimEvent &a, const SimEvent &b)
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.tick > b.tick;
+    }
+
+    std::vector<SimEvent> heap_;
+    u64 nextTick_ = 0;
+};
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_SERVING_EVENT_QUEUE_HPP

@@ -1,0 +1,34 @@
+#include "sim/serving/service_time.hpp"
+
+#include "support/logging.hpp"
+
+namespace cmswitch {
+
+Cycles
+planColdCycles(const LatencyBreakdown &breakdown)
+{
+    return breakdown.total();
+}
+
+Cycles
+planResidentCycles(const LatencyBreakdown &breakdown)
+{
+    return breakdown.intra + breakdown.writeback;
+}
+
+Cycles
+planReconfigureCycles(const LatencyBreakdown &breakdown)
+{
+    return breakdown.modeSwitch + breakdown.rewrite;
+}
+
+double
+cyclesToSeconds(Cycles cycles, double clockGhz)
+{
+    cmswitch_fatal_if(!(clockGhz > 0.0),
+                      "cyclesToSeconds needs a positive clock, got ",
+                      clockGhz);
+    return static_cast<double>(cycles) / (clockGhz * 1e9);
+}
+
+} // namespace cmswitch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The one mapping from a compiled plan's LatencyBreakdown to the
+ * service time a chip spends on a request — shared by the serving
+ * simulator, its tests, and anything else that prices plans under
+ * load.
+ *
+ * The breakdown splits into two halves with different occupancy
+ * semantics:
+ *
+ *  - reconfiguration (modeSwitch + rewrite): paid once when a plan is
+ *    *installed* on a chip — arrays flip between CIM and memory mode
+ *    and weights are (re)programmed. A chip whose arrays already hold
+ *    this plan skips it entirely.
+ *  - resident execution (intra + writeback): paid by every request,
+ *    resident or not — the pipelined segment pass plus inter-segment
+ *    stores.
+ *
+ * Keeping this split in one place is deliberate: the parity test pins
+ * these helpers against sim::timing and the compiler's own breakdown,
+ * so a drift here (a field double-counted or dropped in some ad-hoc
+ * re-summation) would be caught instead of silently skewing every
+ * fleet result.
+ */
+
+#ifndef CMSWITCH_SIM_SERVING_SERVICE_TIME_HPP
+#define CMSWITCH_SIM_SERVING_SERVICE_TIME_HPP
+
+#include "compiler/compiler_api.hpp"
+
+namespace cmswitch {
+
+/** Full cost of a request whose plan must first be installed:
+ *  reconfiguration + resident execution (== breakdown.total()). */
+Cycles planColdCycles(const LatencyBreakdown &breakdown);
+
+/** Cost when the chip's arrays already hold this plan. */
+Cycles planResidentCycles(const LatencyBreakdown &breakdown);
+
+/** The installation prologue alone (cold − resident). */
+Cycles planReconfigureCycles(const LatencyBreakdown &breakdown);
+
+/** Seconds @p cycles take on a chip clocked at @p clockGhz (> 0). */
+double cyclesToSeconds(Cycles cycles, double clockGhz);
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SIM_SERVING_SERVICE_TIME_HPP

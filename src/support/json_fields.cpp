@@ -1,0 +1,136 @@
+#include "support/json_fields.hpp"
+
+#include <cmath>
+
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace cmswitch {
+
+bool
+jsonFail(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+bool
+jsonTakeString(const JsonValue &object, const char *key, std::string *out,
+               std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isString())
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be a string");
+    *out = value->stringValue;
+    return true;
+}
+
+bool
+jsonTakeInt(const JsonValue &object, const char *key, s64 minValue,
+            s64 *out, bool *present, std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber() || !value->isIntegral)
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be an integer");
+    if (value->intValue < minValue)
+        return jsonFail(error, std::string("'") + key + "' must be >= "
+                                   + std::to_string(minValue));
+    *out = value->intValue;
+    if (present)
+        *present = true;
+    return true;
+}
+
+bool
+jsonTakeBool(const JsonValue &object, const char *key, bool *out,
+             std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isBool())
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be a boolean");
+    *out = value->boolValue;
+    return true;
+}
+
+bool
+jsonTakeDouble(const JsonValue &object, const char *key, double minValue,
+               double *out, bool *present, std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isNumber() || !std::isfinite(value->numberValue))
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be a finite number");
+    if (value->numberValue < minValue)
+        return jsonFail(error, std::string("'") + key + "' must be >= "
+                                   + jsonNumber(minValue));
+    *out = value->numberValue;
+    if (present)
+        *present = true;
+    return true;
+}
+
+bool
+jsonTakeIntArray(const JsonValue &object, const char *key, s64 minValue,
+                 std::vector<s64> *out, std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isArray())
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be an array of integers");
+    out->clear();
+    out->reserve(value->items.size());
+    for (const JsonValue &item : value->items) {
+        if (!item.isNumber() || !item.isIntegral)
+            return jsonFail(error, std::string("'") + key
+                                       + "' must hold only integers");
+        if (item.intValue < minValue)
+            return jsonFail(error, std::string("'") + key
+                                       + "' entries must be >= "
+                                       + std::to_string(minValue));
+        out->push_back(item.intValue);
+    }
+    return true;
+}
+
+bool
+jsonTakeDoubleArray(const JsonValue &object, const char *key,
+                    double minValue, std::vector<double> *out,
+                    std::string *error)
+{
+    const JsonValue *value = object.find(key);
+    if (!value)
+        return true;
+    if (!value->isArray())
+        return jsonFail(error, std::string("'") + key
+                                   + "' must be an array of numbers");
+    out->clear();
+    out->reserve(value->items.size());
+    for (const JsonValue &item : value->items) {
+        if (!item.isNumber() || !std::isfinite(item.numberValue))
+            return jsonFail(error, std::string("'") + key
+                                       + "' must hold only finite "
+                                         "numbers");
+        if (item.numberValue < minValue)
+            return jsonFail(error, std::string("'") + key
+                                       + "' entries must be >= "
+                                       + jsonNumber(minValue));
+        out->push_back(item.numberValue);
+    }
+    return true;
+}
+
+} // namespace cmswitch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Typed field extractors over a parsed JsonValue object — the shared
+ * vocabulary of every strict JSON-lines/config parser in the tree
+ * (serve_protocol.cpp, sim/serving/scenario.cpp).
+ *
+ * Convention: an absent key is fine (the caller's default stands); a
+ * present key with the wrong type, or a value outside the stated
+ * bounds, fails with a message naming the key. Nothing here throws or
+ * fatals — these feed parsers whose inputs are attacker-adjacent
+ * (wire requests) or operator-written (scenario files), where a bad
+ * field must cost one error message, never the process.
+ */
+
+#ifndef CMSWITCH_SUPPORT_JSON_FIELDS_HPP
+#define CMSWITCH_SUPPORT_JSON_FIELDS_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace cmswitch {
+
+class JsonValue;
+
+/** Set @p *error to @p message (when non-null) and return false. */
+bool jsonFail(std::string *error, std::string message);
+
+/** @{ Scalar extractors: absent is fine, wrong type is an error.
+ *  @p present (where accepted, may be null) reports whether the key
+ *  was there — for fields whose presence itself means something. */
+bool jsonTakeString(const JsonValue &object, const char *key,
+                    std::string *out, std::string *error);
+bool jsonTakeInt(const JsonValue &object, const char *key, s64 minValue,
+                 s64 *out, bool *present, std::string *error);
+bool jsonTakeBool(const JsonValue &object, const char *key, bool *out,
+                  std::string *error);
+bool jsonTakeDouble(const JsonValue &object, const char *key,
+                    double minValue, double *out, bool *present,
+                    std::string *error);
+/** @} */
+
+/** @{ Homogeneous array extractors; every element obeys @p minValue. */
+bool jsonTakeIntArray(const JsonValue &object, const char *key,
+                      s64 minValue, std::vector<s64> *out,
+                      std::string *error);
+bool jsonTakeDoubleArray(const JsonValue &object, const char *key,
+                         double minValue, std::vector<double> *out,
+                         std::string *error);
+/** @} */
+
+} // namespace cmswitch
+
+#endif // CMSWITCH_SUPPORT_JSON_FIELDS_HPP

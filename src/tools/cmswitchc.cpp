@@ -9,6 +9,9 @@
  *   cmswitchc serve [options]         long-lived compile daemon over
  *                                     stdin/stdout or a Unix socket
  *                                     (docs/serving.md)
+ *   cmswitchc sim --scenario FILE     discrete-event serving
+ *                                     simulator: compiled plans under
+ *                                     traffic (docs/simulation.md)
  *   cmswitchc cache <gc|stats|verify> lifecycle maintenance of a
  *                                     --cache-dir plan directory
  *   cmswitchc fingerprint             plan fingerprint + algorithm
@@ -53,6 +56,8 @@
 #include "service/serve/serve_engine.hpp"
 #include "service/serve/serve_io.hpp"
 #include "sim/energy.hpp"
+#include "sim/serving/scenario.hpp"
+#include "sim/serving/simulator.hpp"
 #include "sim/timing.hpp"
 #include "support/json.hpp"
 #include "support/logging.hpp"
@@ -70,6 +75,7 @@ const char kUsage[] =
        cmswitchc batch --jobs <file> --out-dir <dir> [batch options]
        cmswitchc serve [--socket <path>] [serve options]
        cmswitchc serve --connect <path> --script <file>
+       cmswitchc sim --scenario <file> [sim options]
        cmswitchc cache <gc|stats|verify> --cache-dir <dir> [cache options]
        cmswitchc fingerprint
 
@@ -143,7 +149,8 @@ per line in, one JSON response line per request out (protocol and
 schemas: docs/serving.md). Requests carry priorities and deadlines; a
 max-in-flight admission gate sheds overload with explicit backpressure
 responses, duplicate in-flight requests coalesce onto one compile, and
-a status op reports rolling latency quantiles and cache outcomes:
+a status op reports cumulative latency quantiles and cache
+outcomes (periodic --status-every lines add interval deltas):
   --socket PATH          listen on a Unix-domain socket; without it the
                          daemon serves one session on stdin/stdout
   --pid-file FILE        write the daemon pid once the socket is
@@ -169,6 +176,19 @@ a status op reports rolling latency quantiles and cache outcomes:
                          send the --script request lines ('#' comments
                          and blanks skipped), print every response
   --script FILE          request lines for --connect (required with it)
+
+Sim mode runs the discrete-event serving simulator: a scenario file
+(cmswitch-sim-scenario-v1, see docs/simulation.md) describes a fleet
+of CIM chips, a workload mix and an open-loop arrival process; the
+report (cmswitch-sim-v1) carries throughput, latency quantiles,
+per-chip utilization and mode-switch counts. Runs are deterministic:
+all randomness comes from the scenario's seed, for any --threads:
+  --scenario FILE        scenario config (required)
+  --out FILE             write the report to FILE (default stdout)
+  --threads N            plan-table compile threads (default 1; the
+                         event loop itself is single-threaded)
+  --search-threads N     plan-search threads inside each compile
+                         (default 1)
 
 Cache mode maintains a --cache-dir populated by earlier runs; every
 verb prints a JSON report to stdout:
@@ -203,6 +223,7 @@ Examples:
   cmswitchc serve --socket /tmp/cmswitch.sock --max-inflight 2 \
       --pid-file /tmp/cmswitch.pid --cache-dir plans/
   cmswitchc serve --connect /tmp/cmswitch.sock --script requests.txt
+  cmswitchc sim --scenario traffic.json --out sim-report.json
   cmswitchc cache gc --cache-dir plans/ --max-bytes 104857600
 )";
 
@@ -1175,6 +1196,72 @@ fingerprintMain(int argc, char **argv)
     return 0;
 }
 
+/** `cmswitchc sim`: compile a scenario's plan table and replay its
+ *  traffic through the discrete-event serving simulator. Scenario
+ *  errors exit 1 with a message (they are semantic, not usage); the
+ *  report goes to --out or stdout, a one-line summary to stderr. */
+int
+simMain(int argc, char **argv)
+{
+    std::string scenario_file;
+    std::string out_file;
+    s64 threads = 1;
+    s64 search_threads = 1;
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError(flag + " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--scenario")
+            scenario_file = next();
+        else if (flag == "--out")
+            out_file = next();
+        else if (flag == "--threads")
+            threads = parseIntToken(flag, next(), 1, "");
+        else if (flag == "--search-threads")
+            search_threads = parseIntToken(flag, next(), 1, "");
+        else if (flag == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else {
+            usageError("unknown sim flag '" + flag + "'");
+        }
+    }
+    if (scenario_file.empty())
+        usageError("sim mode requires --scenario");
+
+    SimScenario scenario;
+    std::string error;
+    if (!parseSimScenario(readFile(scenario_file), &scenario, &error)) {
+        std::cerr << "cmswitchc: sim: bad scenario '" << scenario_file
+                  << "': " << error << "\n";
+        return 1;
+    }
+    ServingSimOptions options;
+    options.compileThreads = threads;
+    options.searchThreads = search_threads;
+    SimResult result;
+    if (!runServingSimulation(scenario, options, &result, &error)) {
+        std::cerr << "cmswitchc: sim: " << error << "\n";
+        return 1;
+    }
+    std::string report = renderSimReport(scenario, result);
+    if (out_file.empty())
+        std::cout << report << "\n";
+    else
+        writeTextFile(out_file, report + "\n");
+    std::cerr << "cmswitchc: sim '" << scenario.name << "': "
+              << result.arrived << " arrived, " << result.completed
+              << " completed, "
+              << result.shedAdmission + result.shedDeadline
+              << " shed; throughput "
+              << result.throughputPerSecond() << " req/s, p99 total "
+              << result.totalSeconds.quantile(0.99) << " s\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1184,6 +1271,8 @@ cliMain(int argc, char **argv)
         return batchMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "serve")
         return serveMain(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "sim")
+        return simMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "cache")
         return cacheMain(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "fingerprint")

@@ -219,6 +219,83 @@ TEST(LogHistogram, MergeEmptyIsIdentity)
     EXPECT_DOUBLE_EQ(target.quantile(1.0), 2.0);
 }
 
+TEST(LogHistogram, CopyIsIndependentSnapshot)
+{
+    LogHistogram h;
+    h.record(1.0);
+    h.record(4.0);
+
+    LogHistogram snap = h;
+    EXPECT_EQ(snap.count(), 2);
+    EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+    EXPECT_DOUBLE_EQ(snap.max(), 4.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), h.quantile(1.0));
+
+    // The copy is detached: later records touch only the original.
+    h.record(16.0);
+    EXPECT_EQ(snap.count(), 2);
+    EXPECT_EQ(h.count(), 3);
+
+    LogHistogram assigned;
+    assigned.record(99.0);
+    assigned = snap;
+    EXPECT_EQ(assigned.count(), 2);
+    EXPECT_DOUBLE_EQ(assigned.max(), 4.0);
+}
+
+/**
+ * subtractSnapshot(earlier) leaves exactly the samples recorded after
+ * the snapshot was taken: exact bucket counts, count and sum; min/max
+ * re-derived from the surviving buckets' bounds (not recoverable from
+ * cumulative extremes), so they hold within kMaxRelativeError and the
+ * interval quantiles match a histogram that saw only the interval.
+ */
+TEST(LogHistogram, SubtractSnapshotLeavesIntervalSamples)
+{
+    std::mt19937 rng(7);
+    std::lognormal_distribution<double> dist(0.0, 1.2);
+    std::vector<double> before, after;
+    for (int i = 0; i < 2000; ++i)
+        before.push_back(dist(rng));
+    for (int i = 0; i < 3000; ++i)
+        after.push_back(dist(rng));
+
+    LogHistogram h, intervalOnly;
+    recordAll(&h, before);
+    LogHistogram snap = h;
+    recordAll(&h, after);
+    recordAll(&intervalOnly, after);
+
+    LogHistogram delta = h;
+    delta.subtractSnapshot(snap);
+
+    EXPECT_EQ(delta.count(), intervalOnly.count());
+    EXPECT_NEAR(delta.sum(), intervalOnly.sum(),
+                1e-9 * intervalOnly.sum());
+    // Bucket counts subtract exactly, so quantiles agree up to the
+    // min/max clamp (exact extremes vs re-derived bucket bounds).
+    for (double q : {0.01, 0.5, 0.9, 0.99}) {
+        double expected = intervalOnly.quantile(q);
+        EXPECT_NEAR(delta.quantile(q), expected,
+                    2 * LogHistogram::kMaxRelativeError * expected)
+            << "q=" << q;
+    }
+    // Bucket-bound extremes: within the estimator's documented error.
+    EXPECT_NEAR(delta.min(), intervalOnly.min(),
+                2 * LogHistogram::kMaxRelativeError * intervalOnly.min());
+    EXPECT_NEAR(delta.max(), intervalOnly.max(),
+                2 * LogHistogram::kMaxRelativeError * intervalOnly.max());
+
+    // Subtracting everything leaves a well-formed empty histogram.
+    LogHistogram zero = h;
+    zero.subtractSnapshot(h);
+    EXPECT_EQ(zero.count(), 0);
+    EXPECT_EQ(zero.sum(), 0.0);
+    EXPECT_EQ(zero.min(), 0.0);
+    EXPECT_EQ(zero.max(), 0.0);
+    EXPECT_EQ(zero.quantile(0.5), 0.0);
+}
+
 TEST(LogHistogram, ResetClearsEverything)
 {
     LogHistogram h;

@@ -5,8 +5,9 @@
 #      workers, then a admitted / b coalesced / e admitted with an
 #      already-expired deadline / d shed at the gate; release; a late
 #      duplicate f memory-hits) — every response and every counter of
-#      the cmswitch-serve-status-v1 report checked, plus --status-every
-#      periodic lines on stderr.
+#      the cmswitch-serve-status-v2 report checked, plus --status-every
+#      periodic lines on stderr (which additionally carry an "interval"
+#      delta block; the on-demand status op must not).
 #   2. Unix-socket session: a background daemon plus the `serve
 #      --connect` client (two processes), exercising one coalesced
 #      duplicate and one admission shed over the socket, then a clean
@@ -114,9 +115,9 @@ response_for(f lines resp)
 expect_field("${resp}" "ok" status)
 expect_field("${resp}" "memory" cache)
 
-# The status-v1 report: every counter pinned by the scenario.
+# The status-v2 report: every counter pinned by the scenario.
 response_for(s lines status)
-expect_field("${status}" "cmswitch-serve-status-v1" schema)
+expect_field("${status}" "cmswitch-serve-status-v2" schema)
 expect_field("${status}" "5" requests received)
 expect_field("${status}" "3" requests admitted)
 expect_field("${status}" "1" requests coalesced)
@@ -141,10 +142,48 @@ foreach(p p50 p90 p95 p99)
     endif()
 endforeach()
 
-# --status-every 1 put periodic status lines on stderr.
+# The on-demand status op is a pure read: cumulative counters only,
+# never an interval block (that belongs to periodic lines).
+string(JSON interval ERROR_VARIABLE json_err GET "${status}" interval)
+if(json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "status op carried an interval block:\n${status}")
+endif()
+
+# --status-every 1 put periodic status lines on stderr, each carrying
+# true interval deltas. Two compile groups completed (a's group and
+# f's), so there are exactly two periodic lines, every one with an
+# interval block whose completed counts sum to the cumulative total.
 string(FIND "${err}" "cmswitch-serve-status-v1" at)
-if(at EQUAL -1)
-    message(FATAL_ERROR "no periodic status line on stderr:\n${err}")
+if(NOT at EQUAL -1)
+    message(FATAL_ERROR "stale status-v1 schema on stderr:\n${err}")
+endif()
+string(REPLACE "\n" ";" err_lines "${err}")
+set(periodic "")
+foreach(line IN LISTS err_lines)
+    string(FIND "${line}" "cmswitch-serve-status-v2" at)
+    if(NOT at EQUAL -1)
+        list(APPEND periodic "${line}")
+    endif()
+endforeach()
+list(LENGTH periodic n_periodic)
+if(NOT n_periodic EQUAL 2)
+    message(FATAL_ERROR "expected 2 periodic status lines, "
+                        "got ${n_periodic}:\n${err}")
+endif()
+set(interval_total 0)
+foreach(line IN LISTS periodic)
+    string(JSON c GET "${line}" interval completed)
+    if(c LESS_EQUAL 0)
+        message(FATAL_ERROR "periodic interval completed: expected > 0, "
+                            "got '${c}' in:\n${line}")
+    endif()
+    math(EXPR interval_total "${interval_total} + ${c}")
+endforeach()
+list(GET periodic 1 last_periodic)
+string(JSON cumulative GET "${last_periodic}" requests completed)
+if(NOT interval_total EQUAL cumulative)
+    message(FATAL_ERROR "interval completed deltas (${interval_total}) do "
+                        "not sum to the cumulative count (${cumulative})")
 endif()
 
 message(STATUS "serve_smoke: stdin session checks passed")
@@ -224,7 +263,7 @@ response_for(i lines resp)
 expect_field("${resp}" "shed" status)
 expect_field("${resp}" "admission" reason)
 response_for(cs lines status)
-expect_field("${status}" "cmswitch-serve-status-v1" schema)
+expect_field("${status}" "cmswitch-serve-status-v2" schema)
 expect_field("${status}" "3" requests received)
 expect_field("${status}" "1" requests admitted)
 expect_field("${status}" "1" requests coalesced)

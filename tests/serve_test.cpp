@@ -4,8 +4,9 @@
  * admission gate (priority-then-FIFO rejection order, deadline expiry
  * while queued — both driven by a fake clock, fully deterministic),
  * the strict wire-protocol parser/resolver, and the ServeEngine's
- * status-v1 report under a fixed hold/release request script. The
- * two-process socket path is covered by serve_smoke (e2e).
+ * status-v2 report under a fixed hold/release request script
+ * (cumulative quantiles on demand, interval deltas only on periodic
+ * lines). The two-process socket path is covered by serve_smoke (e2e).
  */
 
 #include <gtest/gtest.h>
@@ -255,7 +256,7 @@ intField(const JsonValue &doc, std::initializer_list<const char *> path)
  *   d  low priority, queue full, shed at admission;
  * then release: e expires at pop (shed, never compiled), a compiles
  * cold with b riding, and a later identical f hits the memory cache.
- * Every counter in the status-v1 report is pinned; run twice to show
+ * Every counter in the status-v2 report is pinned; run twice to show
  * the report is deterministic under a fixed script.
  */
 TEST(ServeEngine, StatusReportIsDeterministicUnderFixedScript)
@@ -300,13 +301,15 @@ TEST(ServeEngine, StatusReportIsDeterministicUnderFixedScript)
         JsonValue f = log.forId("f");
         EXPECT_EQ(f.find("cache")->stringValue, "memory");
 
-        // The status-v1 report, every counter pinned.
+        // The status-v2 report, every counter pinned. On-demand status
+        // is a pure read: cumulative only, no interval block.
         JsonValue status;
         std::string error;
         ASSERT_TRUE(parseJson(engine.statusJson(), &status, &error))
             << error;
         EXPECT_EQ(status.find("schema")->stringValue,
-                  "cmswitch-serve-status-v1");
+                  "cmswitch-serve-status-v2");
+        EXPECT_EQ(status.find("interval"), nullptr);
         EXPECT_EQ(intField(status, {"requests", "received"}), 5);
         EXPECT_EQ(intField(status, {"requests", "admitted"}), 3);
         EXPECT_EQ(intField(status, {"requests", "coalesced"}), 1);
@@ -329,6 +332,64 @@ TEST(ServeEngine, StatusReportIsDeterministicUnderFixedScript)
         EXPECT_EQ(intField(status, {"latency", "queue_wait_seconds",
                                     "count"}), 2);
     }
+}
+
+/**
+ * --status-every periodic lines carry true interval deltas: with
+ * statusEvery 1, each line's "interval" block counts only the groups
+ * that completed since the previous line, its histograms hold only the
+ * interval's samples, and the deltas sum back to the cumulative
+ * section that keeps counting from engine start. "drain" guarantees
+ * any due periodic line has been written, so the script is race-free.
+ */
+TEST(ServeEngine, PeriodicStatusCarriesIntervalDeltas)
+{
+    ResponseLog log;
+    ResponseLog periodic;
+    ServeEngineOptions options;
+    options.maxInflight = 1;
+    options.maxQueue = 4;
+    options.statusEvery = 1;
+    ServeEngine engine(options, log.sink(), periodic.sink());
+
+    auto line = [&](const std::string &text) {
+        EXPECT_TRUE(engine.handleLine(text));
+    };
+    // Group 1: a leads with b riding (two completed requests, one
+    // latency sample). Group 2: c compiles a different plan.
+    line(R"({"op":"hold","id":"h"})");
+    line(R"({"op":"compile","id":"a","model":"tiny-mlp","priority":5})");
+    line(R"({"op":"compile","id":"b","model":"tiny-mlp","priority":5})");
+    line(R"({"op":"release","id":"r"})");
+    line(R"({"op":"drain","id":"d1"})");
+    line(R"({"op":"compile","id":"c","model":"tiny-mlp","chip":"prime"})");
+    line(R"({"op":"drain","id":"d2"})");
+
+    std::vector<JsonValue> docs;
+    {
+        std::lock_guard<std::mutex> lock(periodic.mutex);
+        ASSERT_EQ(periodic.lines.size(), 2u);
+        for (const std::string &text : periodic.lines) {
+            JsonValue doc;
+            std::string error;
+            ASSERT_TRUE(parseJson(text, &doc, &error)) << error;
+            docs.push_back(doc);
+        }
+    }
+
+    EXPECT_EQ(intField(docs[0], {"interval", "completed"}), 2);
+    EXPECT_EQ(intField(docs[0], {"requests", "completed"}), 2);
+    EXPECT_EQ(intField(docs[0],
+                       {"interval", "queue_wait_seconds", "count"}), 1);
+
+    // Only c's group landed in the second interval; the cumulative
+    // estimators keep both samples.
+    EXPECT_EQ(intField(docs[1], {"interval", "completed"}), 1);
+    EXPECT_EQ(intField(docs[1], {"requests", "completed"}), 3);
+    EXPECT_EQ(intField(docs[1],
+                       {"interval", "queue_wait_seconds", "count"}), 1);
+    EXPECT_EQ(intField(docs[1],
+                       {"latency", "queue_wait_seconds", "count"}), 2);
 }
 
 TEST(ServeEngine, DeadlineExpiredWhileQueuedIsNeverCompiled)

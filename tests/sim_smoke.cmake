@@ -1,0 +1,170 @@
+# Smoke test for `cmswitchc sim` — the serving simulator through the
+# real binary:
+#
+#   1. a pinned heterogeneous scenario (1x dynaplasia + 1x prime,
+#      Poisson prefill/decode mix with KV buckets) runs to a
+#      cmswitch-sim-v1 report whose structure and invariants are
+#      checked with CMake's JSON parser;
+#   2. the same scenario re-runs byte-identically — once as a plain
+#      second run, once at --threads 4 (plan compilation parallelism
+#      must never leak into the simulated result).
+#
+# Run as `cmake -DCMSWITCHC=<exe> -DWORK_DIR=<dir> -P sim_smoke.cmake`.
+
+if(NOT CMSWITCHC)
+    message(FATAL_ERROR "pass -DCMSWITCHC=<path to cmswitchc>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+file(WRITE ${WORK_DIR}/scenario.json
+[[{
+  "schema": "cmswitch-sim-scenario-v1",
+  "name": "smoke",
+  "seed": 2025,
+  "duration_seconds": 8.0,
+  "max_queue": 8,
+  "arrival": {"process": "poisson", "rate_per_second": 6.0},
+  "chips": [
+    {"chip": "dynaplasia", "count": 1, "clock_ghz": 1.0},
+    {"chip": "prime", "count": 1, "clock_ghz": 1.0}
+  ],
+  "workloads": [
+    {"name": "prefill", "model": "tiny-mlp", "weight": 3.0,
+     "priority": 1},
+    {"name": "decode", "model": "opt-6.7b", "layers": 2,
+     "kv_buckets": [128, 256], "weight": 1.0}
+  ]
+}
+]])
+
+function(run_sim out_file extra_args)
+    execute_process(COMMAND ${CMSWITCHC} sim
+                            --scenario ${WORK_DIR}/scenario.json
+                            --out ${out_file} ${extra_args}
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err
+                    RESULT_VARIABLE result
+                    TIMEOUT 300)
+    if(NOT result EQUAL 0)
+        message(FATAL_ERROR "cmswitchc sim failed (${result}):\n${err}")
+    endif()
+endfunction()
+
+run_sim(${WORK_DIR}/report_a.json "")
+file(READ ${WORK_DIR}/report_a.json report)
+
+# --- Structure and invariants of the cmswitch-sim-v1 document --------
+
+string(JSON schema GET "${report}" schema)
+if(NOT schema STREQUAL "cmswitch-sim-v1")
+    message(FATAL_ERROR "schema: expected cmswitch-sim-v1, got '${schema}'")
+endif()
+string(JSON name GET "${report}" scenario name)
+if(NOT name STREQUAL "smoke")
+    message(FATAL_ERROR "scenario name: got '${name}'")
+endif()
+
+string(JSON arrived GET "${report}" requests arrived)
+string(JSON completed GET "${report}" requests completed)
+string(JSON shed_admission GET "${report}" requests shed_admission)
+string(JSON shed_deadline GET "${report}" requests shed_deadline)
+if(arrived LESS_EQUAL 0)
+    message(FATAL_ERROR "expected arrivals, got ${arrived}")
+endif()
+math(EXPR accounted
+     "${completed} + ${shed_admission} + ${shed_deadline}")
+if(NOT accounted EQUAL arrived)
+    message(FATAL_ERROR "request accounting: ${arrived} arrived but "
+                        "${accounted} completed+shed")
+endif()
+if(completed LESS_EQUAL 0)
+    message(FATAL_ERROR "expected completions, got ${completed}")
+endif()
+
+string(JSON throughput GET "${report}" throughput_rps)
+if(throughput LESS_EQUAL 0)
+    message(FATAL_ERROR "throughput_rps: expected > 0, got ${throughput}")
+endif()
+
+string(JSON n_chips LENGTH "${report}" chips)
+if(NOT n_chips EQUAL 2)
+    message(FATAL_ERROR "expected 2 chip instances, got ${n_chips}")
+endif()
+string(JSON chip0 GET "${report}" chips 0 chip)
+string(JSON chip1 GET "${report}" chips 1 chip)
+if(NOT chip0 STREQUAL "dynaplasia" OR NOT chip1 STREQUAL "prime")
+    message(FATAL_ERROR "fleet order: got '${chip0}', '${chip1}'")
+endif()
+set(total_served 0)
+foreach(i 0 1)
+    string(JSON served GET "${report}" chips ${i} served)
+    string(JSON util GET "${report}" chips ${i} utilization)
+    if(util LESS 0 OR util GREATER 1)
+        message(FATAL_ERROR "chips[${i}] utilization out of [0,1]: ${util}")
+    endif()
+    math(EXPR total_served "${total_served} + ${served}")
+endforeach()
+if(NOT total_served EQUAL completed)
+    message(FATAL_ERROR "per-chip served (${total_served}) != "
+                        "completed (${completed})")
+endif()
+
+# Plan table: prefill on both presets + 2 decode buckets on both
+# presets = 6 plans, and per-plan served counts partition completions.
+string(JSON n_plans LENGTH "${report}" plans)
+if(NOT n_plans EQUAL 6)
+    message(FATAL_ERROR "expected 6 plan-table entries, got ${n_plans}")
+endif()
+set(plan_served 0)
+math(EXPR last_plan "${n_plans} - 1")
+foreach(i RANGE ${last_plan})
+    string(JSON served GET "${report}" plans ${i} served)
+    string(JSON cold GET "${report}" plans ${i} cold_cycles)
+    string(JSON resident GET "${report}" plans ${i} resident_cycles)
+    string(JSON reconf GET "${report}" plans ${i} reconfigure_cycles)
+    math(EXPR split "${resident} + ${reconf}")
+    if(NOT split EQUAL cold)
+        message(FATAL_ERROR "plans[${i}]: resident ${resident} + "
+                            "reconfigure ${reconf} != cold ${cold}")
+    endif()
+    math(EXPR plan_served "${plan_served} + ${served}")
+endforeach()
+if(NOT plan_served EQUAL completed)
+    message(FATAL_ERROR "per-plan served (${plan_served}) != "
+                        "completed (${completed})")
+endif()
+
+string(JSON lat_count GET "${report}" latency total_seconds count)
+if(NOT lat_count EQUAL completed)
+    message(FATAL_ERROR "latency count ${lat_count} != completed "
+                        "${completed}")
+endif()
+string(JSON p99 GET "${report}" latency total_seconds p99)
+if(p99 LESS_EQUAL 0)
+    message(FATAL_ERROR "latency p99: expected > 0, got ${p99}")
+endif()
+
+message(STATUS "sim_smoke: report structure checks passed "
+               "(${arrived} arrived, ${completed} completed)")
+
+# --- Determinism: byte-identical across runs and --threads -----------
+
+run_sim(${WORK_DIR}/report_b.json "")
+run_sim(${WORK_DIR}/report_c.json "--threads;4")
+
+file(READ ${WORK_DIR}/report_b.json report_b)
+file(READ ${WORK_DIR}/report_c.json report_c)
+if(NOT report STREQUAL report_b)
+    message(FATAL_ERROR "two runs of one scenario differ")
+endif()
+if(NOT report STREQUAL report_c)
+    message(FATAL_ERROR "--threads 4 changed the report bytes")
+endif()
+
+message(STATUS "sim_smoke: all checks passed "
+               "(structure + run-to-run and --threads determinism)")
